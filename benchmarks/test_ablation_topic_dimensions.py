@@ -1,0 +1,15 @@
+"""Ablation: sweep of the topic-vector dimensionality (Section 3.2 choice)."""
+
+from conftest import emit, run_once
+
+from repro.experiments import reporting, run_topic_dimension_sweep
+
+
+def test_ablation_topic_dimensions(benchmark, config):
+    points = run_once(benchmark, run_topic_dimension_sweep, config, (4, 16, 48))
+    emit("ablation_topic_dimensions", reporting.format_ablation(points, "Ablation: LDA topic dimensionality"))
+
+    assert len(points) == 3
+    for point in points:
+        assert 0.0 <= point.macro_f1 <= 1.0
+        assert 0.0 <= point.weighted_f1 <= 1.0

@@ -1,0 +1,23 @@
+"""Figure 10: 2-D projection of column embeddings, Sato vs Sherlock (Base)."""
+
+import numpy as np
+
+from conftest import emit, run_once
+
+from repro.experiments import reporting, run_col2vec
+
+
+def test_figure10_column_embeddings(benchmark, config):
+    result = run_once(benchmark, run_col2vec, config)
+    emit("figure10_col2vec", reporting.format_figure10(result))
+
+    assert len(result.labels_sato) == len(np.asarray(result.projection_sato))
+    assert len(result.labels_base) == len(np.asarray(result.projection_base))
+    # The projections are 2-D and finite.
+    if len(result.labels_sato):
+        projection = np.asarray(result.projection_sato)
+        assert projection.shape[1] == 2
+        assert np.all(np.isfinite(projection))
+    # The paper's qualitative claim: the topic-aware model separates the
+    # ambiguous organisation-related types at least as well as Sherlock.
+    assert result.separation_sato >= result.separation_base - 0.25

@@ -1,0 +1,27 @@
+"""Figure 5: long-tailed distribution of semantic type counts in D."""
+
+import numpy as np
+
+from conftest import emit, run_once
+
+from repro.corpus.statistics import type_counts
+from repro.experiments import build_corpus, reporting
+
+
+def test_figure5_type_distribution(benchmark, config):
+    dataset = run_once(benchmark, build_corpus, config)
+    counts = type_counts(dataset.tables)
+    emit("figure5_type_distribution", reporting.format_figure5(dict(counts)))
+
+    values = np.array(sorted(counts.values(), reverse=True), dtype=float)
+    # Long tail: the most frequent type dominates the least frequent one and
+    # the head (top 20%) holds the majority of the mass.
+    assert values[0] >= 5 * values[-1]
+    # The head (top 20% of types) holds clearly more than its uniform share
+    # of the column mass.
+    head = int(np.ceil(len(values) * 0.2))
+    uniform_share = head / len(values) * values.sum()
+    assert values[:head].sum() > 1.5 * uniform_share
+    # Head types from the paper's Figure 5 should be among our most frequent.
+    top10 = {name for name, _ in counts.most_common(10)}
+    assert top10 & {"name", "description", "team", "type", "age", "location", "year", "city"}

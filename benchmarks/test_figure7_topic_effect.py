@@ -1,0 +1,42 @@
+"""Figure 7: per-type F1 with vs without topic-aware prediction.
+
+Panel (a): Sato vs SatoNoTopic.  Panel (b): SatoNoStruct vs Base.
+"""
+
+from conftest import emit, run_once
+
+from repro.evaluation import per_type_comparison
+from repro.experiments import reporting, run_main_results
+
+
+def test_figure7_topic_effect(benchmark, config):
+    results = run_once(benchmark, run_main_results, config)
+    dataset = "Dmult"
+
+    def pooled(model):
+        return results.result(dataset, model).pooled_true_pred()
+
+    sato_true, sato_pred = pooled("Sato")
+    notopic_true, notopic_pred = pooled("SatoNoTopic")
+    nostruct_true, nostruct_pred = pooled("SatoNoStruct")
+    base_true, base_pred = pooled("Base")
+
+    panel_a = per_type_comparison(
+        sato_true, sato_pred, notopic_true, notopic_pred, "Sato", "SatoNoTopic"
+    )
+    panel_b = per_type_comparison(
+        nostruct_true, nostruct_pred, base_true, base_pred, "SatoNoStruct", "Base"
+    )
+    emit(
+        "figure7_topic_effect",
+        reporting.format_per_type_figure(panel_a, "Figure 7a: Sato vs SatoNoTopic")
+        + "\n\n"
+        + reporting.format_per_type_figure(panel_b, "Figure 7b: SatoNoStruct vs Base"),
+    )
+
+    # Topic-aware prediction should improve at least as many types as it
+    # degrades in at least one of the two panels (the paper improves ~60/78).
+    assert (
+        len(panel_a.improved_types) >= len(panel_a.degraded_types)
+        or len(panel_b.improved_types) >= len(panel_b.degraded_types)
+    )

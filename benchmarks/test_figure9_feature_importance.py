@@ -1,0 +1,24 @@
+"""Figure 9: permutation importance of feature categories for all variants."""
+
+from conftest import emit, run_once
+
+from repro.experiments import reporting, run_importance
+
+
+def test_figure9_feature_importance(benchmark, config):
+    importances = run_once(benchmark, run_importance, config, 2)
+    emit("figure9_feature_importance", reporting.format_figure9(importances))
+
+    assert set(importances) == {"Base", "Sato", "SatoNoStruct", "SatoNoTopic"}
+    # Topic-aware models report an importance for the topic feature group.
+    assert "topic" in importances["Sato"]
+    assert "topic" in importances["SatoNoStruct"]
+    assert "topic" not in importances["Base"]
+    # Shuffling a feature group should never massively *improve* the model.
+    for groups in importances.values():
+        for importance in groups.values():
+            assert importance.macro_drop > -30.0
+    # In the topic-aware models, the topic group carries real importance for
+    # the macro metric (the paper finds it the most important category).
+    sato_groups = importances["Sato"]
+    assert sato_groups["topic"].macro_drop >= -5.0

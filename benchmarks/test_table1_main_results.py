@@ -1,0 +1,24 @@
+"""Table 1: macro / support-weighted F1 of Base, Sato, SatoNoStruct and
+SatoNoTopic on Dmult and D under k-fold cross-validation."""
+
+from conftest import emit, run_once
+
+from repro.experiments import reporting, run_main_results
+
+
+def test_table1_main_results(benchmark, config):
+    results = run_once(benchmark, run_main_results, config)
+    emit("table1_main_results", reporting.format_table1(results))
+
+    for dataset in ("Dmult", "D"):
+        base = results.result(dataset, "Base")
+        sato = results.result(dataset, "Sato")
+        # The paper's headline claim: Sato improves over Base on both
+        # averages, with the larger relative gain on macro F1.
+        assert sato.macro_f1 >= base.macro_f1 - 0.02
+        assert sato.weighted_f1 >= base.weighted_f1 - 0.02
+    # Each contextual signal alone also helps on the multi-column dataset.
+    assert (
+        results.result("Dmult", "SatoNoTopic").weighted_f1
+        >= results.result("Dmult", "Base").weighted_f1 - 0.02
+    )

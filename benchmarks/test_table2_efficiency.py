@@ -1,0 +1,16 @@
+"""Table 2: average training and prediction time of Base vs Sato."""
+
+from conftest import emit, run_once
+
+from repro.experiments import reporting, run_efficiency
+
+
+def test_table2_efficiency(benchmark, config):
+    timings = run_once(benchmark, run_efficiency, config, 2)
+    emit("table2_efficiency", reporting.format_table2(timings))
+
+    base, sato = timings["Base"], timings["Sato"]
+    # Sato adds the topic features and the CRF layer, so it costs more to
+    # train; prediction overhead stays small (same order of magnitude).
+    assert sato.train_time[0] + sato.crf_train_time[0] > base.train_time[0]
+    assert sato.predict_time[0] < 50 * max(base.predict_time[0], 1e-3)

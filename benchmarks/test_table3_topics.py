@@ -1,0 +1,19 @@
+"""Table 3: the most salient LDA topics and their representative semantic types."""
+
+from conftest import emit, run_once
+
+from repro.experiments import reporting, run_topic_analysis
+from repro.types import SEMANTIC_TYPES
+
+
+def test_table3_topic_interpretation(benchmark, config):
+    summaries = run_once(benchmark, run_topic_analysis, config, 5, 5)
+    emit("table3_topics", reporting.format_table3(summaries))
+
+    assert len(summaries) == 5
+    # Saliency is sorted descending and every representative type is valid.
+    saliencies = [s.saliency for s in summaries]
+    assert saliencies == sorted(saliencies, reverse=True)
+    for summary in summaries:
+        assert len(summary.top_types) == 5
+        assert all(t in SEMANTIC_TYPES for t in summary.top_types)

@@ -1,0 +1,19 @@
+"""Table 4: example tables whose column-wise mispredictions the CRF corrects."""
+
+from conftest import emit, run_once
+
+from repro.experiments import reporting, run_qualitative
+
+
+def test_table4_structured_corrections(benchmark, config):
+    examples = run_once(benchmark, run_qualitative, config, 10)
+    emit("table4_qualitative", reporting.format_table4(examples))
+
+    # Structured prediction must salvage at least one table in at least one
+    # of the two comparisons (Base->SatoNoTopic, SatoNoStruct->Sato), and
+    # every reported example must be a net improvement.
+    total = sum(len(v) for v in examples.values())
+    assert total >= 1
+    for example_list in examples.values():
+        for example in example_list:
+            assert example.n_corrected > example.n_broken

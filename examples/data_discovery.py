@@ -1,0 +1,101 @@
+"""Data discovery: semantic search over a data lake of unlabelled tables.
+
+One of the motivating applications in the paper's introduction is data
+discovery — answering "find me tables that contain company and sales
+information" over a lake of CSV files whose headers are missing or cryptic.
+
+This example builds a small "data lake" of tables with their headers removed,
+annotates every column with Sato, builds an inverted index from semantic type
+to columns, and answers type-based discovery queries, comparing the result
+quality against the single-column Base model.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro import CorpusConfig, CorpusGenerator, SatoModel, SatoConfig, TrainingConfig
+from repro.corpus.splits import train_test_split
+from repro.features import ColumnFeaturizer
+from repro.models.base import ColumnModel
+from repro.tables import Table
+
+
+def build_model(use_topic: bool, use_struct: bool) -> SatoModel:
+    """A Sato variant sized for this example."""
+    config = SatoConfig(
+        use_topic=use_topic,
+        use_struct=use_struct,
+        n_topics=20,
+        training=TrainingConfig(n_epochs=25, learning_rate=3e-3, subnet_dim=32, hidden_dim=64),
+        crf_epochs=5,
+    )
+    model = SatoModel(config=config, featurizer=ColumnFeaturizer(word_dim=24, para_dim=16))
+    if use_topic:
+        model.column_model.intent_estimator.lda.n_iterations = 12
+        model.column_model.intent_estimator.lda.infer_iterations = 12
+    return model
+
+
+def annotate_lake(model: ColumnModel, lake: list[Table]) -> dict[str, list[tuple[str, int]]]:
+    """Predict types for every column and build a type -> column index."""
+    index: dict[str, list[tuple[str, int]]] = defaultdict(list)
+    for table in lake:
+        stripped = table.without_headers()  # headers are unavailable in the lake
+        for position, predicted in enumerate(model.predict_table(stripped)):
+            index[predicted].append((table.table_id or "?", position))
+    return index
+
+
+def evaluate_query(
+    index: dict[str, list[tuple[str, int]]],
+    lake: list[Table],
+    wanted_types: set[str],
+) -> tuple[float, float]:
+    """Precision / recall of retrieving columns whose true type is wanted."""
+    retrieved = {
+        (table_id, position)
+        for wanted in wanted_types
+        for table_id, position in index.get(wanted, [])
+    }
+    relevant = {
+        (table.table_id or "?", position)
+        for table in lake
+        for position, column in enumerate(table.columns)
+        if column.semantic_type in wanted_types
+    }
+    if not retrieved or not relevant:
+        return 0.0, 0.0
+    hits = len(retrieved & relevant)
+    return hits / len(retrieved), hits / len(relevant)
+
+
+def main() -> None:
+    print("1. Building the data lake (labels kept only for evaluation) ...")
+    corpus = CorpusGenerator(CorpusConfig(n_tables=400, seed=29, singleton_rate=0.2)).generate()
+    multi_column = [t for t in corpus if t.n_columns > 1]
+    train, lake = train_test_split(multi_column, test_fraction=0.25, seed=1)
+    print(f"   {len(train)} training tables, {len(lake)} tables in the lake")
+
+    queries = {
+        "business intelligence": {"company", "sales", "symbol"},
+        "people search": {"name", "birthPlace", "nationality"},
+        "geographic join keys": {"city", "state", "country"},
+    }
+
+    for name, use_topic, use_struct in (("Base", False, False), ("Sato", True, True)):
+        print(f"2. Training the {name} annotator ...")
+        model = build_model(use_topic, use_struct)
+        model.fit(train)
+        index = annotate_lake(model, lake)
+        print(f"3. Discovery queries answered by {name}:")
+        for query, wanted in queries.items():
+            precision, recall = evaluate_query(index, lake, wanted)
+            print(
+                f"   {query:<24} types={sorted(wanted)}  "
+                f"precision={precision:.2f}  recall={recall:.2f}"
+            )
+
+
+if __name__ == "__main__":
+    main()

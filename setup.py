@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment has no ``wheel`` package, so PEP 517 editable
+installs (``pip install -e .``) cannot build an editable wheel.  This shim
+lets ``python setup.py develop`` perform the equivalent legacy editable
+install; all project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,61 @@
+"""repro — a reproduction of "Sato: Contextual Semantic Type Detection in Tables".
+
+The package re-implements, from scratch and offline, the full Sato pipeline
+(VLDB 2020): a Sherlock-style single-column neural classifier, an LDA-based
+table-intent estimator feeding a topic-aware model, and a linear-chain CRF
+performing structured multi-column prediction — together with the synthetic
+WebTables-style corpus, embedding substrate, evaluation harness and
+benchmarks needed to regenerate every table and figure of the paper.
+
+Quickstart::
+
+    from repro import CorpusConfig, CorpusGenerator, SatoModel
+
+    corpus = CorpusGenerator(CorpusConfig(n_tables=200, seed=1)).generate()
+    train, test = corpus[:160], corpus[160:]
+    model = SatoModel.full()
+    model.fit(train)
+    print(model.predict_table(test[0]))
+"""
+
+from repro.types import SEMANTIC_TYPES, NUM_TYPES, canonicalize_header
+from repro.tables import Column, Table
+from repro.corpus import CorpusConfig, CorpusGenerator, Dataset, generate_corpus
+from repro.features import ColumnFeaturizer
+from repro.topic import TableIntentEstimator
+from repro.crf import LinearChainCRF
+from repro.models import (
+    AttentionColumnModel,
+    SatoConfig,
+    SatoModel,
+    SherlockModel,
+    TopicAwareModel,
+    TrainingConfig,
+)
+from repro.evaluation import classification_report, evaluate_model_cv
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SEMANTIC_TYPES",
+    "NUM_TYPES",
+    "canonicalize_header",
+    "Column",
+    "Table",
+    "CorpusConfig",
+    "CorpusGenerator",
+    "Dataset",
+    "generate_corpus",
+    "ColumnFeaturizer",
+    "TableIntentEstimator",
+    "LinearChainCRF",
+    "SherlockModel",
+    "TopicAwareModel",
+    "SatoModel",
+    "SatoConfig",
+    "TrainingConfig",
+    "AttentionColumnModel",
+    "classification_report",
+    "evaluate_model_cv",
+    "__version__",
+]

@@ -1,0 +1,135 @@
+"""Command line interface.
+
+Subcommands::
+
+    repro-sato generate  --n-tables 500 --out corpus.jsonl
+    repro-sato evaluate  --corpus corpus.jsonl --variant Sato --k 3
+    repro-sato predict   --corpus corpus.jsonl --csv mytable.csv
+    repro-sato report    --preset tiny
+
+``generate`` writes a synthetic corpus, ``evaluate`` cross-validates one
+model variant on it, ``predict`` trains the full Sato model on a corpus and
+prints per-column predictions for a CSV table, and ``report`` regenerates
+the Table 1 summary for a configuration preset.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.corpus import CorpusConfig, CorpusGenerator
+from repro.evaluation import evaluate_model_cv
+from repro.experiments import ExperimentConfig, reporting, run_main_results
+from repro.experiments.pipeline import make_model_factories
+from repro.tables import table_from_csv, tables_from_jsonl, tables_to_jsonl
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-sato",
+        description="Sato reproduction: semantic type detection in tables",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate", help="generate a synthetic corpus")
+    generate.add_argument("--n-tables", type=int, default=500)
+    generate.add_argument("--seed", type=int, default=13)
+    generate.add_argument("--singleton-rate", type=float, default=0.4)
+    generate.add_argument("--out", required=True, help="output JSONL path")
+
+    evaluate = subparsers.add_parser("evaluate", help="cross-validate a model variant")
+    evaluate.add_argument("--corpus", required=True, help="corpus JSONL path")
+    evaluate.add_argument(
+        "--variant",
+        choices=["Base", "Sato", "SatoNoStruct", "SatoNoTopic"],
+        default="Sato",
+    )
+    evaluate.add_argument("--k", type=int, default=3)
+    evaluate.add_argument("--multi-column-only", action="store_true")
+    evaluate.add_argument("--epochs", type=int, default=15)
+
+    predict = subparsers.add_parser("predict", help="predict column types of a CSV table")
+    predict.add_argument("--corpus", required=True, help="training corpus JSONL path")
+    predict.add_argument("--csv", required=True, help="CSV table to annotate")
+    predict.add_argument("--epochs", type=int, default=15)
+
+    report = subparsers.add_parser("report", help="regenerate the Table 1 summary")
+    report.add_argument("--preset", choices=["tiny", "fast", "large"], default="tiny")
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    config = CorpusConfig(
+        n_tables=args.n_tables, seed=args.seed, singleton_rate=args.singleton_rate
+    )
+    tables = CorpusGenerator(config).generate()
+    count = tables_to_jsonl(tables, args.out)
+    print(f"wrote {count} tables to {args.out}")
+    return 0
+
+
+def _experiment_config(epochs: int) -> ExperimentConfig:
+    return ExperimentConfig(nn_epochs=epochs)
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    tables = tables_from_jsonl(args.corpus)
+    if args.multi_column_only:
+        tables = [t for t in tables if t.n_columns > 1]
+    factories = make_model_factories(_experiment_config(args.epochs))
+    result = evaluate_model_cv(
+        factories[args.variant], tables, k=args.k, model_name=args.variant
+    )
+    print(
+        f"{args.variant}: macro F1={result.macro_f1:.3f} "
+        f"(+/-{result.confidence_interval('macro'):.3f}), "
+        f"weighted F1={result.weighted_f1:.3f} "
+        f"(+/-{result.confidence_interval('weighted'):.3f})"
+    )
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    tables = tables_from_jsonl(args.corpus)
+    factories = make_model_factories(_experiment_config(args.epochs))
+    model = factories["Sato"]()
+    model.fit(tables)
+    table = table_from_csv(args.csv)
+    predictions = model.predict_table(table)
+    for index, (column, prediction) in enumerate(zip(table.columns, predictions)):
+        header = column.header or f"column {index}"
+        print(f"{header:<24} -> {prediction}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    presets = {
+        "tiny": ExperimentConfig.tiny,
+        "fast": ExperimentConfig.fast,
+        "large": ExperimentConfig.large,
+    }
+    results = run_main_results(presets[args.preset]())
+    print(reporting.format_table1(results))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "evaluate": _cmd_evaluate,
+        "predict": _cmd_predict,
+        "report": _cmd_report,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

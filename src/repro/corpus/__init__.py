@@ -1,0 +1,44 @@
+"""Synthetic WebTables-style corpus.
+
+The VizNet WebTables sample used in the paper is not available offline, so
+this package builds the closest synthetic equivalent: tables are drawn from
+"intent" schemas (people, cities, sports results, books, businesses, ...),
+each schema produces thematically coherent columns over the 78 semantic
+types, type frequencies follow a long-tailed distribution, and realistic
+noise (missing cells, typos, formatting variation) is injected.
+
+The resulting corpus exhibits the three statistical properties Sato relies
+on: per-type value distributions (single-column signal), table-level thematic
+coherence (global context / topic signal), and adjacent-column type
+co-occurrence (local context / CRF signal).
+"""
+
+from repro.corpus.config import CorpusConfig, NoiseConfig
+from repro.corpus.generator import CorpusGenerator, generate_corpus
+from repro.corpus.splits import (
+    Dataset,
+    KFoldSplit,
+    kfold_split,
+    multi_column_only,
+    train_test_split,
+)
+from repro.corpus.statistics import (
+    cooccurrence_matrix,
+    adjacent_cooccurrence_matrix,
+    type_counts,
+)
+
+__all__ = [
+    "CorpusConfig",
+    "NoiseConfig",
+    "CorpusGenerator",
+    "generate_corpus",
+    "Dataset",
+    "KFoldSplit",
+    "kfold_split",
+    "multi_column_only",
+    "train_test_split",
+    "type_counts",
+    "cooccurrence_matrix",
+    "adjacent_cooccurrence_matrix",
+]

@@ -1,0 +1,77 @@
+"""Corpus generation configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["NoiseConfig", "CorpusConfig"]
+
+
+@dataclass
+class NoiseConfig:
+    """Dirty-data injection rates.
+
+    The WebTables corpus the paper uses is noisy: missing cells, typos,
+    inconsistent capitalisation and formatting.  These rates control how much
+    of that noise the synthetic corpus reproduces.
+    """
+
+    #: Probability that a cell is replaced by a missing value.
+    missing_cell_rate: float = 0.03
+    #: Probability that a cell suffers a single-character typo.
+    typo_rate: float = 0.02
+    #: Probability that a cell's capitalisation is randomised.
+    case_noise_rate: float = 0.05
+    #: Probability that surrounding whitespace is added to a cell.
+    whitespace_rate: float = 0.02
+    #: Probability that a column header receives formatting noise
+    #: (upper-casing, parenthesised suffix, extra spaces).  Ground-truth
+    #: labels are derived *before* header noise, so noise only affects what a
+    #: downstream user would see.
+    header_noise_rate: float = 0.3
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` when any rate is outside [0, 1]."""
+        for name in (
+            "missing_cell_rate",
+            "typo_rate",
+            "case_noise_rate",
+            "whitespace_rate",
+            "header_noise_rate",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be within [0, 1], got {value}")
+
+
+@dataclass
+class CorpusConfig:
+    """Configuration of the synthetic WebTables-style corpus."""
+
+    #: Number of tables to generate (the paper's D has 80K; tests use tens).
+    n_tables: int = 1000
+    #: Minimum and maximum number of data rows per table.
+    min_rows: int = 4
+    max_rows: int = 25
+    #: Fraction of tables that are singletons (one column only); the paper's
+    #: D contains ~59% singletons (80K total vs 33K multi-column).
+    singleton_rate: float = 0.4
+    #: Random seed.
+    seed: int = 13
+    #: Noise configuration.
+    noise: NoiseConfig = field(default_factory=NoiseConfig)
+    #: Dirichlet-ish concentration over the schema weights: 1.0 keeps the
+    #: default long-tail, larger values flatten it.
+    schema_weight_power: float = 1.0
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on inconsistent settings."""
+        if self.n_tables <= 0:
+            raise ValueError("n_tables must be positive")
+        if self.min_rows <= 0 or self.max_rows < self.min_rows:
+            raise ValueError("row bounds must satisfy 0 < min_rows <= max_rows")
+        if not 0.0 <= self.singleton_rate < 1.0:
+            raise ValueError("singleton_rate must be in [0, 1)")
+        if self.schema_weight_power <= 0:
+            raise ValueError("schema_weight_power must be positive")
+        self.noise.validate()

@@ -1,0 +1,141 @@
+"""Synthetic WebTables-style corpus generator.
+
+The generator samples a table *intent* (schema), selects which of the
+schema's column slots are present, samples coherent row entities, generates
+cell values via the per-type generators, injects noise, and packages the
+result into :class:`~repro.tables.Table` objects with ground-truth labels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.corpus.config import CorpusConfig
+from repro.corpus.generators import generate_value, make_person, make_place
+from repro.corpus.noise import apply_cell_noise, apply_header_noise
+from repro.corpus.schemas import DEFAULT_SCHEMAS, TableSchema
+from repro.tables import Column, Table
+
+__all__ = ["CorpusGenerator", "generate_corpus"]
+
+#: Semantic types whose values are coordinated through the person entity.
+_PERSON_TYPES = {
+    "name", "age", "birthDate", "birthPlace", "nationality", "sex", "gender", "person",
+}
+#: Semantic types whose values are coordinated through the place entity.
+_PLACE_TYPES = {
+    "city", "country", "state", "continent", "region", "county", "location", "origin",
+}
+
+
+class CorpusGenerator:
+    """Generates a labelled corpus of synthetic tables.
+
+    Parameters
+    ----------
+    config:
+        Corpus size, noise and sampling configuration.
+    schemas:
+        Intent library to draw from; defaults to the built-in 35 intents.
+    """
+
+    def __init__(
+        self,
+        config: CorpusConfig | None = None,
+        schemas: tuple[TableSchema, ...] = DEFAULT_SCHEMAS,
+    ) -> None:
+        self.config = config or CorpusConfig()
+        self.config.validate()
+        if not schemas:
+            raise ValueError("at least one schema is required")
+        self.schemas = schemas
+        weights = np.array([s.weight for s in schemas], dtype=float)
+        weights = weights ** self.config.schema_weight_power
+        self._schema_probs = weights / weights.sum()
+        self._rng = np.random.default_rng(self.config.seed)
+
+    def generate(self, n_tables: int | None = None) -> list[Table]:
+        """Generate ``n_tables`` tables (defaults to the configured count)."""
+        count = self.config.n_tables if n_tables is None else int(n_tables)
+        return [self.generate_table(table_id=f"t{i:06d}") for i in range(count)]
+
+    def generate_table(self, table_id: str | None = None) -> Table:
+        """Generate one table."""
+        rng = self._rng
+        schema = self._sample_schema(rng)
+        types = self._sample_column_types(schema, rng)
+        if rng.random() < self.config.singleton_rate:
+            keep = int(rng.integers(0, len(types)))
+            types = [types[keep]]
+        n_rows = int(rng.integers(self.config.min_rows, self.config.max_rows + 1))
+        columns = self._generate_columns(types, n_rows, rng)
+        return Table(
+            columns=columns,
+            table_id=table_id,
+            metadata={"intent": schema.name, "n_rows": n_rows},
+        )
+
+    def _sample_schema(self, rng: np.random.Generator) -> TableSchema:
+        index = int(rng.choice(len(self.schemas), p=self._schema_probs))
+        return self.schemas[index]
+
+    def _sample_column_types(
+        self, schema: TableSchema, rng: np.random.Generator
+    ) -> list[str]:
+        selected = [
+            slot.semantic_type
+            for slot in schema.slots
+            if rng.random() < slot.probability
+        ]
+        if len(selected) < schema.min_columns:
+            # Force-include the most probable missing slots, preserving order.
+            missing = [s for s in schema.slots if s.semantic_type not in selected]
+            missing.sort(key=lambda s: -s.probability)
+            need = schema.min_columns - len(selected)
+            forced = {s.semantic_type for s in missing[:need]}
+            selected = [
+                slot.semantic_type
+                for slot in schema.slots
+                if slot.semantic_type in set(selected) | forced
+            ]
+        return selected
+
+    def _generate_columns(
+        self, types: list[str], n_rows: int, rng: np.random.Generator
+    ) -> list[Column]:
+        noise = self.config.noise
+        raw_rows: list[dict[str, str]] = []
+        for _ in range(n_rows):
+            context: dict = {}
+            if any(t in _PERSON_TYPES for t in types):
+                context["person"] = make_person(rng)
+            if any(t in _PLACE_TYPES for t in types):
+                context["place"] = make_place(rng)
+            # dict.fromkeys keeps first-occurrence order: iteration must be
+            # deterministic (a set here would vary with PYTHONHASHSEED and
+            # break corpus reproducibility across runs).
+            raw_rows.append(
+                {t: generate_value(t, rng, context) for t in dict.fromkeys(types)}
+            )
+        columns: list[Column] = []
+        for semantic_type in types:
+            values = [
+                apply_cell_noise(row[semantic_type], noise, rng) for row in raw_rows
+            ]
+            header = apply_header_noise(semantic_type, noise, rng)
+            columns.append(
+                Column(values=values, header=header, semantic_type=semantic_type)
+            )
+        return columns
+
+
+def generate_corpus(
+    n_tables: int = 1000,
+    seed: int = 13,
+    config: CorpusConfig | None = None,
+) -> list[Table]:
+    """Convenience wrapper: generate a corpus with default settings."""
+    if config is None:
+        config = CorpusConfig(n_tables=n_tables, seed=seed)
+    generator = CorpusGenerator(config)
+    return generator.generate()

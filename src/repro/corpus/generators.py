@@ -1,0 +1,659 @@
+"""Per-semantic-type value generators.
+
+Each semantic type has a generator that produces one cell value.  Generators
+receive a *row context* so that schemas can produce thematically coherent
+rows: the same sampled person entity supplies ``name``, ``birthDate``,
+``birthPlace``, ``age``, ``nationality`` and ``sex`` values, the same place
+entity supplies ``city``, ``country``, ``state`` and ``continent``.
+
+Crucially, several generators intentionally share vocabularies (``city``,
+``birthPlace`` and ``location`` all emit city names; ``name``, ``person``,
+``creator``, ``director``, ``owner`` and ``jockey`` all emit person names).
+That shared support is what makes single-column prediction ambiguous and what
+the topic and CRF modules of Sato disambiguate.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.corpus import vocab
+from repro.types import SEMANTIC_TYPES
+
+__all__ = [
+    "RowContext",
+    "make_person",
+    "make_place",
+    "generate_value",
+    "VALUE_GENERATORS",
+    "missing_generators",
+]
+
+RowContext = dict
+
+
+def _choice(rng: np.random.Generator, items: list[str]) -> str:
+    return items[int(rng.integers(0, len(items)))]
+
+
+def make_person(rng: np.random.Generator) -> dict:
+    """Sample a coherent person entity used across person-related columns."""
+    first = _choice(rng, vocab.FIRST_NAMES)
+    last = _choice(rng, vocab.LAST_NAMES)
+    birth_year = int(rng.integers(1900, 2005))
+    birth_city = _choice(rng, vocab.CITIES)
+    sex = _choice(rng, ["Male", "Female"])
+    return {
+        "first": first,
+        "last": last,
+        "full": f"{first} {last}",
+        "birth_year": birth_year,
+        "birth_month": int(rng.integers(1, 13)),
+        "birth_day": int(rng.integers(1, 29)),
+        "birth_city": birth_city,
+        "birth_country": vocab.CITY_INFO[birth_city][0],
+        "nationality": _choice(rng, vocab.NATIONALITIES),
+        "sex": sex,
+        "occupation": _choice(rng, vocab.OCCUPATIONS),
+        "age": max(16, 2020 - birth_year - int(rng.integers(0, 3))),
+    }
+
+
+def make_place(rng: np.random.Generator) -> dict:
+    """Sample a coherent place entity (city with its country/state/region)."""
+    city = _choice(rng, vocab.CITIES)
+    country, state, continent, region = vocab.CITY_INFO[city]
+    return {
+        "city": city,
+        "country": country,
+        "state": state,
+        "continent": continent,
+        "region": region,
+        "county": _choice(rng, vocab.COUNTIES),
+    }
+
+
+def _person(ctx: RowContext, rng: np.random.Generator) -> dict:
+    person = ctx.get("person")
+    if person is None:
+        person = make_person(rng)
+        ctx["person"] = person
+    return person
+
+
+def _place(ctx: RowContext, rng: np.random.Generator) -> dict:
+    place = ctx.get("place")
+    if place is None:
+        place = make_place(rng)
+        ctx["place"] = place
+    return place
+
+
+def _person_name(rng: np.random.Generator, ctx: RowContext) -> str:
+    return _person(ctx, rng)["full"]
+
+
+def _other_person_name(rng: np.random.Generator, ctx: RowContext) -> str:
+    first = _choice(rng, vocab.FIRST_NAMES)
+    last = _choice(rng, vocab.LAST_NAMES)
+    return f"{first} {last}"
+
+
+def _gen_name(rng, ctx):
+    return _person_name(rng, ctx)
+
+
+def _gen_description(rng, ctx):
+    return _choice(rng, vocab.DESCRIPTION_PHRASES)
+
+
+def _gen_team(rng, ctx):
+    return _choice(rng, vocab.TEAMS)
+
+
+def _gen_type(rng, ctx):
+    pool = vocab.CATEGORY_WORDS + vocab.CLASS_WORDS + vocab.FORMAT_WORDS
+    return _choice(rng, pool)
+
+
+def _gen_age(rng, ctx):
+    person = ctx.get("person")
+    if person is not None:
+        return str(person["age"])
+    return str(int(rng.integers(16, 95)))
+
+
+def _gen_location(rng, ctx):
+    place = _place(ctx, rng)
+    styles = ["city", "city_country", "venue"]
+    style = _choice(rng, styles)
+    if style == "city":
+        return place["city"]
+    if style == "city_country":
+        return f"{place['city']}, {place['country']}"
+    venues = ["Stadium", "Arena", "Convention Center", "Park", "Hall", "Theatre"]
+    return f"{place['city']} {_choice(rng, venues)}"
+
+
+def _gen_year(rng, ctx):
+    return str(int(rng.integers(1900, 2021)))
+
+
+def _gen_city(rng, ctx):
+    return _place(ctx, rng)["city"]
+
+
+def _gen_rank(rng, ctx):
+    return str(int(rng.integers(1, 101)))
+
+
+def _gen_status(rng, ctx):
+    return _choice(rng, vocab.STATUS_WORDS)
+
+
+def _gen_state(rng, ctx):
+    place = ctx.get("place")
+    if place is not None and place["country"] == "United States":
+        return place["state"]
+    return _choice(rng, vocab.US_STATES)
+
+
+def _gen_category(rng, ctx):
+    return _choice(rng, vocab.CATEGORY_WORDS)
+
+
+def _gen_weight(rng, ctx):
+    styles = ["kg", "lb", "plain", "grams"]
+    style = _choice(rng, styles)
+    value = float(rng.uniform(40, 140))
+    if style == "kg":
+        return f"{value:.1f} kg"
+    if style == "lb":
+        return f"{value * 2.2:.0f} lbs"
+    if style == "grams":
+        return f"{value * 1000:.0f} g"
+    return f"{value:.1f}"
+
+
+def _gen_code(rng, ctx):
+    letters = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    n_letters = int(rng.integers(2, 5))
+    prefix = "".join(_choice(rng, list(letters)) for _ in range(n_letters))
+    return f"{prefix}-{int(rng.integers(100, 10000))}"
+
+
+def _gen_club(rng, ctx):
+    return _choice(rng, vocab.CLUBS)
+
+
+def _gen_artist(rng, ctx):
+    return _choice(rng, vocab.ARTISTS)
+
+
+def _gen_result(rng, ctx):
+    return _choice(rng, vocab.RESULT_WORDS)
+
+
+def _gen_position(rng, ctx):
+    if rng.random() < 0.6:
+        return _choice(rng, vocab.SPORT_POSITIONS)
+    return str(int(rng.integers(1, 25)))
+
+
+def _gen_country(rng, ctx):
+    return _place(ctx, rng)["country"]
+
+
+def _gen_notes(rng, ctx):
+    return _choice(rng, vocab.NOTE_PHRASES)
+
+
+def _gen_class(rng, ctx):
+    return _choice(rng, vocab.CLASS_WORDS)
+
+
+def _gen_company(rng, ctx):
+    return _choice(rng, vocab.COMPANIES)
+
+
+def _gen_album(rng, ctx):
+    return _choice(rng, vocab.ALBUMS)
+
+
+def _gen_symbol(rng, ctx):
+    letters = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    n = int(rng.integers(2, 5))
+    return "".join(_choice(rng, list(letters)) for _ in range(n))
+
+
+def _gen_address(rng, ctx):
+    number = int(rng.integers(1, 9999))
+    street = _choice(rng, vocab.STREET_NAMES)
+    suffix = _choice(rng, vocab.STREET_SUFFIXES)
+    if rng.random() < 0.4:
+        city = _place(ctx, rng)["city"]
+        return f"{number} {street} {suffix}, {city}"
+    return f"{number} {street} {suffix}"
+
+
+def _gen_duration(rng, ctx):
+    style = _choice(rng, ["mmss", "hms", "minutes", "seconds"])
+    if style == "mmss":
+        return f"{int(rng.integers(0, 60))}:{int(rng.integers(0, 60)):02d}"
+    if style == "hms":
+        return (
+            f"{int(rng.integers(0, 4))}:{int(rng.integers(0, 60)):02d}"
+            f":{int(rng.integers(0, 60)):02d}"
+        )
+    if style == "minutes":
+        return f"{int(rng.integers(1, 240))} min"
+    return f"{int(rng.integers(1, 5000))} s"
+
+
+def _gen_format(rng, ctx):
+    return _choice(rng, vocab.FORMAT_WORDS)
+
+
+def _gen_county(rng, ctx):
+    return _place(ctx, rng)["county"]
+
+
+def _gen_day(rng, ctx):
+    if rng.random() < 0.7:
+        return _choice(rng, vocab.DAYS)
+    return str(int(rng.integers(1, 32)))
+
+
+def _gen_gender(rng, ctx):
+    person = ctx.get("person")
+    if person is not None and rng.random() < 0.8:
+        return person["sex"]
+    return _choice(rng, vocab.GENDERS)
+
+
+def _gen_industry(rng, ctx):
+    return _choice(rng, vocab.INDUSTRIES)
+
+
+def _gen_language(rng, ctx):
+    return _choice(rng, vocab.LANGUAGES)
+
+
+def _gen_sex(rng, ctx):
+    person = ctx.get("person")
+    if person is not None and rng.random() < 0.8:
+        return person["sex"]
+    return _choice(rng, vocab.SEXES)
+
+
+def _gen_product(rng, ctx):
+    return _choice(rng, vocab.PRODUCTS)
+
+
+def _gen_jockey(rng, ctx):
+    return _other_person_name(rng, ctx)
+
+
+def _gen_region(rng, ctx):
+    place = ctx.get("place")
+    if place is not None and rng.random() < 0.6:
+        return place["region"]
+    return _choice(rng, vocab.REGIONS)
+
+
+def _gen_area(rng, ctx):
+    style = _choice(rng, ["km2", "sqmi", "plain", "hectare"])
+    value = float(rng.uniform(1, 20000))
+    if style == "km2":
+        return f"{value:,.1f} km2"
+    if style == "sqmi":
+        return f"{value / 2.59:,.1f} sq mi"
+    if style == "hectare":
+        return f"{value * 100:,.0f} ha"
+    return f"{value:,.1f}"
+
+
+def _gen_service(rng, ctx):
+    return _choice(rng, vocab.SERVICE_WORDS)
+
+
+def _gen_team_name(rng, ctx):
+    city = _choice(rng, vocab.CITIES)
+    team = _choice(rng, vocab.TEAMS)
+    return f"{city} {team}"
+
+
+def _gen_order(rng, ctx):
+    if rng.random() < 0.5:
+        return str(int(rng.integers(1, 1000)))
+    return f"ORD-{int(rng.integers(10000, 99999))}"
+
+
+def _gen_isbn(rng, ctx):
+    if rng.random() < 0.5:
+        groups = [
+            "978",
+            str(int(rng.integers(0, 10))),
+            str(int(rng.integers(100, 1000))),
+            str(int(rng.integers(10000, 100000))),
+            str(int(rng.integers(0, 10))),
+        ]
+        return "-".join(groups)
+    return str(int(rng.integers(10 ** 9, 10 ** 10)))
+
+
+def _gen_file_size(rng, ctx):
+    unit = _choice(rng, ["KB", "MB", "GB", "bytes"])
+    value = float(rng.uniform(1, 900))
+    if unit == "bytes":
+        return f"{int(value * 1024)}"
+    return f"{value:.1f} {unit}"
+
+
+def _gen_grades(rng, ctx):
+    return _choice(rng, vocab.GRADES)
+
+
+def _gen_publisher(rng, ctx):
+    return _choice(rng, vocab.PUBLISHERS)
+
+
+def _gen_plays(rng, ctx):
+    return str(int(rng.integers(0, 500)))
+
+
+def _gen_origin(rng, ctx):
+    place = _place(ctx, rng)
+    if rng.random() < 0.5:
+        return place["country"]
+    return place["city"]
+
+
+def _gen_elevation(rng, ctx):
+    style = _choice(rng, ["m", "ft", "plain"])
+    value = float(rng.uniform(-50, 4500))
+    if style == "m":
+        return f"{value:.0f} m"
+    if style == "ft":
+        return f"{value * 3.28:.0f} ft"
+    return f"{value:.0f}"
+
+
+def _gen_affiliation(rng, ctx):
+    return _choice(rng, vocab.AFFILIATIONS)
+
+
+def _gen_component(rng, ctx):
+    return _choice(rng, vocab.COMPONENT_WORDS)
+
+
+def _gen_owner(rng, ctx):
+    if rng.random() < 0.6:
+        return _other_person_name(rng, ctx)
+    return _choice(rng, vocab.COMPANIES)
+
+
+def _gen_genre(rng, ctx):
+    return _choice(rng, vocab.GENRES)
+
+
+def _gen_manufacturer(rng, ctx):
+    return _choice(rng, vocab.MANUFACTURERS)
+
+
+def _gen_brand(rng, ctx):
+    return _choice(rng, vocab.BRANDS)
+
+
+def _gen_family(rng, ctx):
+    return _choice(rng, vocab.FAMILIES)
+
+
+def _gen_credit(rng, ctx):
+    if rng.random() < 0.5:
+        return str(int(rng.integers(1, 30)))
+    return _other_person_name(rng, ctx)
+
+
+def _gen_depth(rng, ctx):
+    style = _choice(rng, ["m", "ft", "cm", "plain"])
+    value = float(rng.uniform(0.1, 1000))
+    if style == "m":
+        return f"{value:.1f} m"
+    if style == "ft":
+        return f"{value * 3.28:.1f} ft"
+    if style == "cm":
+        return f"{value * 100:.0f} cm"
+    return f"{value:.1f}"
+
+
+def _gen_classification(rng, ctx):
+    pool = vocab.CLASS_WORDS + vocab.CATEGORY_WORDS
+    return _choice(rng, pool)
+
+
+def _gen_collection(rng, ctx):
+    return _choice(rng, vocab.COLLECTION_WORDS)
+
+
+def _gen_species(rng, ctx):
+    return _choice(rng, vocab.SPECIES)
+
+
+def _gen_command(rng, ctx):
+    return _choice(rng, vocab.COMMAND_WORDS)
+
+
+def _gen_nationality(rng, ctx):
+    person = ctx.get("person")
+    if person is not None and rng.random() < 0.8:
+        return person["nationality"]
+    return _choice(rng, vocab.NATIONALITIES)
+
+
+def _gen_currency(rng, ctx):
+    return _choice(rng, vocab.CURRENCIES)
+
+
+def _gen_range(rng, ctx):
+    low = int(rng.integers(0, 500))
+    high = low + int(rng.integers(1, 500))
+    style = _choice(rng, ["dash", "to", "km"])
+    if style == "dash":
+        return f"{low}-{high}"
+    if style == "to":
+        return f"{low} to {high}"
+    return f"{low} km"
+
+
+def _gen_affiliate(rng, ctx):
+    if rng.random() < 0.5:
+        return _choice(rng, vocab.AFFILIATIONS)
+    return _choice(rng, vocab.COMPANIES)
+
+
+def _gen_birth_date(rng, ctx):
+    person = _person(ctx, rng)
+    style = _choice(rng, ["iso", "us", "long"])
+    year, month, day = person["birth_year"], person["birth_month"], person["birth_day"]
+    if style == "iso":
+        return f"{year}-{month:02d}-{day:02d}"
+    if style == "us":
+        return f"{month}/{day}/{year}"
+    return f"{vocab.MONTHS[month - 1]} {day}, {year}"
+
+
+def _gen_ranking(rng, ctx):
+    return str(int(rng.integers(1, 250)))
+
+
+def _gen_capacity(rng, ctx):
+    style = _choice(rng, ["plain", "comma", "liters"])
+    value = int(rng.integers(100, 100000))
+    if style == "comma":
+        return f"{value:,}"
+    if style == "liters":
+        return f"{int(rng.integers(1, 500))} L"
+    return str(value)
+
+
+def _gen_birth_place(rng, ctx):
+    person = ctx.get("person")
+    if person is not None:
+        if ctx.get("_rng_birthplace_country", rng.random()) < 0.3:
+            return person["birth_country"]
+        return person["birth_city"]
+    return _choice(rng, vocab.CITIES)
+
+
+def _gen_person(rng, ctx):
+    return _person_name(rng, ctx)
+
+
+def _gen_creator(rng, ctx):
+    return _other_person_name(rng, ctx)
+
+
+def _gen_operator(rng, ctx):
+    return _choice(rng, vocab.OPERATORS)
+
+
+def _gen_religion(rng, ctx):
+    return _choice(rng, vocab.RELIGIONS)
+
+
+def _gen_education(rng, ctx):
+    return _choice(rng, vocab.EDUCATION_LEVELS)
+
+
+def _gen_requirement(rng, ctx):
+    return _choice(rng, vocab.REQUIREMENT_WORDS)
+
+
+def _gen_director(rng, ctx):
+    return _other_person_name(rng, ctx)
+
+
+def _gen_sales(rng, ctx):
+    style = _choice(rng, ["plain", "comma", "currency", "millions"])
+    value = int(rng.integers(100, 10_000_000))
+    if style == "comma":
+        return f"{value:,}"
+    if style == "currency":
+        return f"${value:,}"
+    if style == "millions":
+        return f"{value / 1_000_000:.1f}M"
+    return str(value)
+
+
+def _gen_continent(rng, ctx):
+    place = ctx.get("place")
+    if place is not None and rng.random() < 0.7:
+        return place["continent"]
+    return _choice(rng, vocab.CONTINENTS)
+
+
+def _gen_organisation(rng, ctx):
+    return _choice(rng, vocab.ORGANISATIONS)
+
+
+#: Mapping from semantic type label to its value generator.
+VALUE_GENERATORS: dict[str, Callable[[np.random.Generator, RowContext], str]] = {
+    "name": _gen_name,
+    "description": _gen_description,
+    "team": _gen_team,
+    "type": _gen_type,
+    "age": _gen_age,
+    "location": _gen_location,
+    "year": _gen_year,
+    "city": _gen_city,
+    "rank": _gen_rank,
+    "status": _gen_status,
+    "state": _gen_state,
+    "category": _gen_category,
+    "weight": _gen_weight,
+    "code": _gen_code,
+    "club": _gen_club,
+    "artist": _gen_artist,
+    "result": _gen_result,
+    "position": _gen_position,
+    "country": _gen_country,
+    "notes": _gen_notes,
+    "class": _gen_class,
+    "company": _gen_company,
+    "album": _gen_album,
+    "symbol": _gen_symbol,
+    "address": _gen_address,
+    "duration": _gen_duration,
+    "format": _gen_format,
+    "county": _gen_county,
+    "day": _gen_day,
+    "gender": _gen_gender,
+    "industry": _gen_industry,
+    "language": _gen_language,
+    "sex": _gen_sex,
+    "product": _gen_product,
+    "jockey": _gen_jockey,
+    "region": _gen_region,
+    "area": _gen_area,
+    "service": _gen_service,
+    "teamName": _gen_team_name,
+    "order": _gen_order,
+    "isbn": _gen_isbn,
+    "fileSize": _gen_file_size,
+    "grades": _gen_grades,
+    "publisher": _gen_publisher,
+    "plays": _gen_plays,
+    "origin": _gen_origin,
+    "elevation": _gen_elevation,
+    "affiliation": _gen_affiliation,
+    "component": _gen_component,
+    "owner": _gen_owner,
+    "genre": _gen_genre,
+    "manufacturer": _gen_manufacturer,
+    "brand": _gen_brand,
+    "family": _gen_family,
+    "credit": _gen_credit,
+    "depth": _gen_depth,
+    "classification": _gen_classification,
+    "collection": _gen_collection,
+    "species": _gen_species,
+    "command": _gen_command,
+    "nationality": _gen_nationality,
+    "currency": _gen_currency,
+    "range": _gen_range,
+    "affiliate": _gen_affiliate,
+    "birthDate": _gen_birth_date,
+    "ranking": _gen_ranking,
+    "capacity": _gen_capacity,
+    "birthPlace": _gen_birth_place,
+    "person": _gen_person,
+    "creator": _gen_creator,
+    "operator": _gen_operator,
+    "religion": _gen_religion,
+    "education": _gen_education,
+    "requirement": _gen_requirement,
+    "director": _gen_director,
+    "sales": _gen_sales,
+    "continent": _gen_continent,
+    "organisation": _gen_organisation,
+}
+
+
+def missing_generators() -> list[str]:
+    """Semantic types without a registered generator (should be empty)."""
+    return [t for t in SEMANTIC_TYPES if t not in VALUE_GENERATORS]
+
+
+def generate_value(
+    semantic_type: str,
+    rng: np.random.Generator,
+    context: RowContext | None = None,
+) -> str:
+    """Generate one cell value of the given semantic type."""
+    if semantic_type not in VALUE_GENERATORS:
+        raise KeyError(f"no value generator for semantic type {semantic_type!r}")
+    generator = VALUE_GENERATORS[semantic_type]
+    return generator(rng, context if context is not None else {})

@@ -1,0 +1,86 @@
+"""Dirty-data injection.
+
+Real WebTables are messy; these helpers make the synthetic corpus messy in
+the same ways (missing values, typos, case and whitespace noise, header
+formatting variation) so that models cannot rely on clean value formats.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.corpus.config import NoiseConfig
+
+__all__ = ["apply_cell_noise", "apply_header_noise", "corrupt_value"]
+
+_MISSING_TOKENS = ["", "", "", "N/A", "-", "null", "unknown"]
+_TYPO_ALPHABET = "abcdefghijklmnopqrstuvwxyz"
+
+
+def corrupt_value(value: str, rng: np.random.Generator) -> str:
+    """Introduce a single-character typo (substitute, delete or duplicate)."""
+    if not value:
+        return value
+    position = int(rng.integers(0, len(value)))
+    operation = int(rng.integers(0, 3))
+    if operation == 0:
+        replacement = _TYPO_ALPHABET[int(rng.integers(0, len(_TYPO_ALPHABET)))]
+        return value[:position] + replacement + value[position + 1:]
+    if operation == 1 and len(value) > 1:
+        return value[:position] + value[position + 1:]
+    return value[:position] + value[position] + value[position:]
+
+
+def apply_cell_noise(value: str, noise: NoiseConfig, rng: np.random.Generator) -> str:
+    """Apply the configured cell-level noise to a single value."""
+    if rng.random() < noise.missing_cell_rate:
+        return _MISSING_TOKENS[int(rng.integers(0, len(_MISSING_TOKENS)))]
+    if rng.random() < noise.typo_rate:
+        value = corrupt_value(value, rng)
+    if rng.random() < noise.case_noise_rate:
+        choice = int(rng.integers(0, 3))
+        if choice == 0:
+            value = value.upper()
+        elif choice == 1:
+            value = value.lower()
+        else:
+            value = value.title()
+    if rng.random() < noise.whitespace_rate:
+        value = f" {value} " if rng.random() < 0.5 else f"{value} "
+    return value
+
+
+def apply_header_noise(header: str, noise: NoiseConfig, rng: np.random.Generator) -> str:
+    """Vary the surface form of a header without changing its canonical form.
+
+    The canonicalisation rules of Section 4.1 map all the produced variants
+    back to the same label, which is exactly how the paper recovers labels
+    from messy real-world headers.
+    """
+    if rng.random() >= noise.header_noise_rate:
+        return header
+    # Split camelCase into words first so that re-casing keeps the word
+    # boundaries the canonicaliser needs (``birthPlace`` -> ``birth place``).
+    spaced = _split_camel_case(header)
+    choice = int(rng.integers(0, 4))
+    if choice == 0:
+        return spaced.upper()
+    if choice == 1:
+        return spaced.capitalize()
+    if choice == 2:
+        return f"{spaced} (first occurrence)"
+    return f" {spaced} "
+
+
+def _split_camel_case(text: str) -> str:
+    parts: list[str] = []
+    current = ""
+    for char in text:
+        if char.isupper() and current:
+            parts.append(current)
+            current = char.lower()
+        else:
+            current += char
+    if current:
+        parts.append(current)
+    return " ".join(parts)

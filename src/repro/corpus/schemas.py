@@ -1,0 +1,264 @@
+"""Table intent schemas.
+
+A schema models the *intent* behind a table (Section 3.2 of the paper): a
+thematically coherent set of semantic types a table author would combine.
+Each schema lists column slots in a natural order together with the
+probability of that slot being present in a sampled table.  Head types
+(``name``, ``year``, ``type`` ...) appear in many schemas, tail types
+(``organisation``, ``continent``, ``director`` ...) in few — this is what
+produces the long-tailed type distribution of Figure 5 and the co-occurrence
+structure of Figure 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.types import SEMANTIC_TYPES
+
+__all__ = ["ColumnSlot", "TableSchema", "DEFAULT_SCHEMAS", "schema_by_name", "uncovered_types"]
+
+
+@dataclass(frozen=True)
+class ColumnSlot:
+    """One potential column of a schema."""
+
+    semantic_type: str
+    probability: float = 1.0
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """A table intent: an ordered collection of column slots.
+
+    Parameters
+    ----------
+    name:
+        Human-readable intent name (e.g. ``"people_biography"``).
+    slots:
+        Ordered column slots with inclusion probabilities.
+    weight:
+        Relative sampling weight of the intent in the corpus; weights are
+        long-tailed across schemas.
+    min_columns:
+        Minimum number of columns a sampled table must have; slots are
+        force-included (in slot order, by descending probability) if the
+        random draw selects fewer.
+    """
+
+    name: str
+    slots: tuple[ColumnSlot, ...]
+    weight: float = 1.0
+    min_columns: int = 2
+
+    @property
+    def semantic_types(self) -> list[str]:
+        """All semantic types this intent can express."""
+        return [slot.semantic_type for slot in self.slots]
+
+
+def _schema(name, weight, min_columns, *slots):
+    return TableSchema(
+        name=name,
+        weight=weight,
+        min_columns=min_columns,
+        slots=tuple(ColumnSlot(t, p) for t, p in slots),
+    )
+
+
+#: The default intent library: ~35 intents covering all 78 semantic types.
+DEFAULT_SCHEMAS: tuple[TableSchema, ...] = (
+    _schema(
+        "people_biography", 8.0, 2,
+        ("name", 1.0), ("age", 0.55), ("birthDate", 0.4), ("birthPlace", 0.5),
+        ("nationality", 0.4), ("sex", 0.3), ("gender", 0.15), ("education", 0.15),
+        ("religion", 0.1), ("description", 0.3),
+    ),
+    _schema(
+        "world_cities", 6.0, 2,
+        ("city", 1.0), ("country", 0.8), ("state", 0.3), ("continent", 0.2),
+        ("area", 0.3), ("elevation", 0.3), ("region", 0.3),
+    ),
+    _schema(
+        "us_locations", 6.0, 2,
+        ("city", 0.9), ("state", 0.9), ("county", 0.5), ("address", 0.4),
+        ("location", 0.3),
+    ),
+    _schema(
+        "sports_results", 8.0, 2,
+        ("rank", 0.7), ("name", 0.85), ("team", 0.7), ("position", 0.5),
+        ("result", 0.6), ("plays", 0.3), ("age", 0.4),
+    ),
+    _schema(
+        "football_squad", 5.0, 2,
+        ("club", 1.0), ("position", 0.5), ("name", 0.7), ("nationality", 0.4),
+        ("age", 0.4), ("weight", 0.3),
+    ),
+    _schema(
+        "horse_racing", 2.0, 2,
+        ("jockey", 1.0), ("rank", 0.6), ("result", 0.5), ("age", 0.4),
+        ("weight", 0.5), ("owner", 0.4),
+    ),
+    _schema(
+        "music_albums", 5.0, 2,
+        ("artist", 1.0), ("album", 0.9), ("year", 0.6), ("genre", 0.5),
+        ("duration", 0.4), ("format", 0.3), ("plays", 0.3),
+    ),
+    _schema(
+        "books_magazines", 4.0, 2,
+        ("symbol", 0.4), ("company", 0.4), ("isbn", 0.8), ("publisher", 0.7),
+        ("creator", 0.4), ("year", 0.5), ("sales", 0.35), ("format", 0.3),
+        ("description", 0.3),
+    ),
+    _schema(
+        "business_listings", 6.0, 2,
+        ("code", 0.75), ("description", 0.7), ("company", 0.8), ("symbol", 0.5),
+        ("industry", 0.4), ("sales", 0.2),
+    ),
+    _schema(
+        "product_catalog", 6.0, 2,
+        ("product", 0.9), ("brand", 0.6), ("manufacturer", 0.4), ("category", 0.6),
+        ("weight", 0.4), ("status", 0.3), ("code", 0.4),
+    ),
+    _schema(
+        "file_listing", 3.0, 2,
+        ("name", 0.5), ("fileSize", 0.85), ("format", 0.7), ("type", 0.5),
+        ("description", 0.4), ("code", 0.3), ("day", 0.2),
+    ),
+    _schema(
+        "event_schedule", 5.0, 2,
+        ("day", 0.7), ("year", 0.5), ("location", 0.7), ("status", 0.45),
+        ("notes", 0.4), ("duration", 0.3),
+    ),
+    _schema(
+        "student_records", 3.0, 2,
+        ("name", 0.9), ("grades", 0.8), ("class", 0.6), ("age", 0.4),
+        ("education", 0.3), ("status", 0.3), ("requirement", 0.15),
+    ),
+    _schema(
+        "ngo_directory", 2.0, 2,
+        ("organisation", 0.9), ("affiliation", 0.5), ("country", 0.4),
+        ("type", 0.3), ("notes", 0.3),
+    ),
+    _schema(
+        "transport_services", 3.0, 2,
+        ("operator", 0.85), ("service", 0.7), ("capacity", 0.5), ("status", 0.4),
+        ("range", 0.3), ("day", 0.3),
+    ),
+    _schema(
+        "species_taxonomy", 2.0, 2,
+        ("species", 0.9), ("family", 0.8), ("classification", 0.5),
+        ("status", 0.3), ("region", 0.3),
+    ),
+    _schema(
+        "hardware_components", 3.0, 2,
+        ("component", 0.9), ("manufacturer", 0.5), ("code", 0.4), ("capacity", 0.3),
+        ("weight", 0.3), ("status", 0.3),
+    ),
+    _schema(
+        "film_catalog", 4.0, 2,
+        ("name", 0.8), ("director", 0.6), ("year", 0.6), ("genre", 0.6),
+        ("duration", 0.4), ("creator", 0.25),
+    ),
+    _schema(
+        "stock_markets", 3.0, 2,
+        ("symbol", 0.9), ("company", 0.8), ("currency", 0.5), ("sales", 0.3),
+        ("ranking", 0.3),
+    ),
+    _schema(
+        "museum_collections", 2.0, 2,
+        ("collection", 0.9), ("creator", 0.4), ("year", 0.4), ("category", 0.4),
+        ("owner", 0.3),
+    ),
+    _schema(
+        "command_reference", 2.0, 2,
+        ("command", 0.9), ("description", 0.7), ("requirement", 0.35),
+        ("notes", 0.3),
+    ),
+    _schema(
+        "league_standings", 5.0, 2,
+        ("teamName", 0.85), ("city", 0.5), ("rank", 0.6), ("result", 0.5),
+        ("plays", 0.45),
+    ),
+    _schema(
+        "physical_geography", 3.0, 2,
+        ("location", 0.7), ("elevation", 0.6), ("area", 0.5), ("depth", 0.45),
+        ("region", 0.4), ("country", 0.4),
+    ),
+    _schema(
+        "shipping_orders", 4.0, 2,
+        ("order", 0.85), ("product", 0.6), ("status", 0.6), ("address", 0.5),
+        ("notes", 0.3), ("sales", 0.2),
+    ),
+    _schema(
+        "memberships", 3.0, 2,
+        ("person", 0.8), ("affiliate", 0.5), ("affiliation", 0.5), ("status", 0.4),
+        ("credit", 0.35),
+    ),
+    _schema(
+        "ethnolinguistic", 2.0, 2,
+        ("language", 0.85), ("country", 0.6), ("nationality", 0.4),
+        ("religion", 0.3), ("continent", 0.3),
+    ),
+    _schema(
+        "fitness_registry", 3.0, 2,
+        ("name", 0.8), ("age", 0.7), ("weight", 0.7), ("gender", 0.5),
+        ("result", 0.3),
+    ),
+    _schema(
+        "broadcast_stations", 2.0, 2,
+        ("affiliate", 0.7), ("owner", 0.5), ("city", 0.5), ("state", 0.4),
+        ("format", 0.4),
+    ),
+    _schema(
+        "employment_records", 3.0, 2,
+        ("name", 0.8), ("company", 0.6), ("industry", 0.5), ("education", 0.4),
+        ("sales", 0.2), ("status", 0.3),
+    ),
+    _schema(
+        "travel_routes", 2.0, 2,
+        ("origin", 0.85), ("location", 0.6), ("duration", 0.5), ("operator", 0.4),
+        ("range", 0.4), ("service", 0.3),
+    ),
+    _schema(
+        "library_catalog", 2.0, 2,
+        ("isbn", 0.6), ("name", 0.5), ("publisher", 0.6), ("collection", 0.4),
+        ("year", 0.4), ("notes", 0.3),
+    ),
+    _schema(
+        "real_estate", 2.0, 2,
+        ("address", 0.9), ("area", 0.6), ("county", 0.4), ("capacity", 0.3),
+        ("status", 0.4), ("sales", 0.3),
+    ),
+    _schema(
+        "census_persons", 2.0, 2,
+        ("person", 0.8), ("sex", 0.6), ("age", 0.6), ("nationality", 0.5),
+        ("religion", 0.3), ("education", 0.3), ("origin", 0.25),
+    ),
+    _schema(
+        "award_rankings", 2.0, 2,
+        ("ranking", 0.8), ("name", 0.7), ("year", 0.5), ("category", 0.4),
+        ("credit", 0.3),
+    ),
+    _schema(
+        "vehicle_catalog", 2.0, 2,
+        ("manufacturer", 0.7), ("brand", 0.6), ("type", 0.5), ("capacity", 0.4),
+        ("weight", 0.4), ("range", 0.3), ("year", 0.4),
+    ),
+)
+
+
+def schema_by_name(name: str, schemas: tuple[TableSchema, ...] = DEFAULT_SCHEMAS) -> TableSchema:
+    """Look up a schema by its intent name."""
+    for schema in schemas:
+        if schema.name == name:
+            return schema
+    raise KeyError(f"unknown schema {name!r}")
+
+
+def uncovered_types(schemas: tuple[TableSchema, ...] = DEFAULT_SCHEMAS) -> list[str]:
+    """Semantic types not expressible by any schema (should be empty)."""
+    covered: set[str] = set()
+    for schema in schemas:
+        covered.update(schema.semantic_types)
+    return [t for t in SEMANTIC_TYPES if t not in covered]

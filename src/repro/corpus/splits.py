@@ -1,0 +1,111 @@
+"""Dataset containers and cross-validation splits.
+
+The paper evaluates on two datasets — ``D`` (all 80K tables) and ``Dmult``
+(the 33K tables with more than one column) — with 5-fold cross-validation at
+the *table* level (80% train / 20% test per fold).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.tables import Table
+
+__all__ = [
+    "Dataset",
+    "KFoldSplit",
+    "multi_column_only",
+    "train_test_split",
+    "kfold_split",
+]
+
+
+@dataclass
+class Dataset:
+    """A named collection of labelled tables."""
+
+    tables: list[Table]
+    name: str = "D"
+
+    def __len__(self) -> int:
+        return len(self.tables)
+
+    def __iter__(self):
+        return iter(self.tables)
+
+    @property
+    def n_columns(self) -> int:
+        """Total number of columns across all tables."""
+        return sum(t.n_columns for t in self.tables)
+
+    @property
+    def n_labeled_columns(self) -> int:
+        """Total number of columns with a ground-truth label."""
+        return sum(1 for t in self.tables for c in t.columns if c.has_label)
+
+    def multi_column(self, name: str | None = None) -> "Dataset":
+        """Return the Dmult view: tables with more than one column."""
+        return Dataset(
+            tables=[t for t in self.tables if t.n_columns > 1],
+            name=name or f"{self.name}mult",
+        )
+
+
+@dataclass
+class KFoldSplit:
+    """One fold of a k-fold split."""
+
+    fold: int
+    train: list[Table]
+    test: list[Table]
+
+
+def multi_column_only(tables: Iterable[Table]) -> list[Table]:
+    """Filter out singleton tables (they lack table context)."""
+    return [t for t in tables if t.n_columns > 1]
+
+
+def train_test_split(
+    tables: Sequence[Table],
+    test_fraction: float = 0.2,
+    seed: int = 0,
+) -> tuple[list[Table], list[Table]]:
+    """Random table-level train/test split."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(tables))
+    n_test = max(1, int(round(len(tables) * test_fraction)))
+    test_idx = set(order[:n_test].tolist())
+    train = [tables[i] for i in range(len(tables)) if i not in test_idx]
+    test = [tables[i] for i in range(len(tables)) if i in test_idx]
+    return train, test
+
+
+def kfold_split(
+    tables: Sequence[Table],
+    k: int = 5,
+    seed: int = 0,
+) -> list[KFoldSplit]:
+    """Table-level k-fold cross-validation splits.
+
+    Every table appears in exactly one test fold; folds differ in size by at
+    most one table.
+    """
+    if k < 2:
+        raise ValueError("k must be at least 2")
+    if len(tables) < k:
+        raise ValueError(f"cannot split {len(tables)} tables into {k} folds")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(tables))
+    folds = np.array_split(order, k)
+    splits: list[KFoldSplit] = []
+    for fold_index, test_indices in enumerate(folds):
+        test_set = set(test_indices.tolist())
+        train = [tables[i] for i in range(len(tables)) if i not in test_set]
+        test = [tables[i] for i in range(len(tables)) if i in test_set]
+        splits.append(KFoldSplit(fold=fold_index, train=train, test=test))
+    return splits

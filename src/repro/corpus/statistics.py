@@ -1,0 +1,99 @@
+"""Corpus statistics: type counts and co-occurrence matrices.
+
+These statistics reproduce Figure 5 (long-tailed type counts) and Figure 6
+(log-scale co-occurrence heatmap) and also provide the co-occurrence
+initialisation of the CRF pairwise potentials (Section 4.3).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.tables import Table
+from repro.types import NUM_TYPES, TYPE_TO_INDEX
+
+__all__ = [
+    "type_counts",
+    "cooccurrence_matrix",
+    "adjacent_cooccurrence_matrix",
+    "top_cooccurring_pairs",
+    "log_cooccurrence",
+]
+
+
+def type_counts(tables: Iterable[Table]) -> Counter:
+    """Count labelled columns per semantic type (Figure 5)."""
+    counts: Counter = Counter()
+    for table in tables:
+        for column in table.columns:
+            if column.semantic_type is not None:
+                counts[column.semantic_type] += 1
+    return counts
+
+
+def cooccurrence_matrix(tables: Iterable[Table]) -> np.ndarray:
+    """Count how often two semantic types occur in the same table (Figure 6).
+
+    The matrix is symmetric; the diagonal counts tables containing at least
+    two columns of the same type (the paper notes non-zero diagonals).
+    """
+    matrix = np.zeros((NUM_TYPES, NUM_TYPES), dtype=np.float64)
+    for table in tables:
+        indices = [
+            TYPE_TO_INDEX[c.semantic_type]
+            for c in table.columns
+            if c.semantic_type in TYPE_TO_INDEX
+        ]
+        for i, a in enumerate(indices):
+            for b in indices[i + 1:]:
+                matrix[a, b] += 1.0
+                if a != b:
+                    matrix[b, a] += 1.0
+    return matrix
+
+
+def adjacent_cooccurrence_matrix(tables: Iterable[Table]) -> np.ndarray:
+    """Count co-occurrences restricted to *adjacent* columns.
+
+    This is the statistic used to initialise the CRF pairwise potentials: the
+    paper expects the pairwise weight of two types to be proportional to
+    their frequency of co-occurrence in adjacent columns.
+    """
+    matrix = np.zeros((NUM_TYPES, NUM_TYPES), dtype=np.float64)
+    for table in tables:
+        indices = [
+            TYPE_TO_INDEX.get(c.semantic_type, -1) for c in table.columns
+        ]
+        for a, b in zip(indices, indices[1:]):
+            if a < 0 or b < 0:
+                continue
+            matrix[a, b] += 1.0
+            if a != b:
+                matrix[b, a] += 1.0
+    return matrix
+
+
+def log_cooccurrence(matrix: np.ndarray) -> np.ndarray:
+    """Log-scale a co-occurrence matrix the way Figure 6 is plotted."""
+    return np.log1p(np.asarray(matrix, dtype=np.float64))
+
+
+def top_cooccurring_pairs(
+    matrix: np.ndarray, k: int = 10, type_names: Sequence[str] | None = None
+) -> list[tuple[str, str, float]]:
+    """Return the ``k`` most frequent distinct type pairs from a matrix."""
+    from repro.types import SEMANTIC_TYPES
+
+    names = list(type_names) if type_names is not None else list(SEMANTIC_TYPES)
+    matrix = np.asarray(matrix, dtype=np.float64)
+    pairs: list[tuple[str, str, float]] = []
+    n = matrix.shape[0]
+    for i in range(n):
+        for j in range(i + 1, n):
+            if matrix[i, j] > 0:
+                pairs.append((names[i], names[j], float(matrix[i, j])))
+    pairs.sort(key=lambda item: -item[2])
+    return pairs[:k]

@@ -1,0 +1,664 @@
+"""Value vocabularies backing the synthetic value generators.
+
+These word lists play the role of the real-world entity distributions found
+in WebTables.  They are intentionally overlapping across related semantic
+types (e.g. cities appear both as ``city`` and ``birthPlace`` values, people
+names appear as ``name``, ``person``, ``creator``, ``director`` ...), because
+that overlap is precisely the ambiguity Sato's contextual signals resolve.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "FIRST_NAMES",
+    "LAST_NAMES",
+    "CITIES",
+    "CITY_INFO",
+    "COUNTRIES",
+    "US_STATES",
+    "COUNTIES",
+    "CONTINENTS",
+    "NATIONALITIES",
+    "LANGUAGES",
+    "RELIGIONS",
+    "CURRENCIES",
+    "TEAMS",
+    "CLUBS",
+    "SPORT_POSITIONS",
+    "COMPANIES",
+    "INDUSTRIES",
+    "BRANDS",
+    "MANUFACTURERS",
+    "PRODUCTS",
+    "ALBUMS",
+    "GENRES",
+    "ARTISTS",
+    "PUBLISHERS",
+    "SPECIES",
+    "FAMILIES",
+    "COLORS",
+    "OCCUPATIONS",
+    "EDUCATION_LEVELS",
+    "DEGREES",
+    "STATUS_WORDS",
+    "RESULT_WORDS",
+    "CATEGORY_WORDS",
+    "CLASS_WORDS",
+    "FORMAT_WORDS",
+    "SERVICE_WORDS",
+    "COMMAND_WORDS",
+    "REQUIREMENT_WORDS",
+    "COMPONENT_WORDS",
+    "COLLECTION_WORDS",
+    "AFFILIATIONS",
+    "ORGANISATIONS",
+    "OPERATORS",
+    "DAYS",
+    "MONTHS",
+    "GENDERS",
+    "SEXES",
+    "GRADES",
+    "REGIONS",
+    "DESCRIPTION_PHRASES",
+    "NOTE_PHRASES",
+    "STREET_NAMES",
+    "STREET_SUFFIXES",
+]
+
+FIRST_NAMES = [
+    "James", "Mary", "John", "Patricia", "Robert", "Jennifer", "Michael",
+    "Linda", "William", "Elizabeth", "David", "Barbara", "Richard", "Susan",
+    "Joseph", "Jessica", "Thomas", "Sarah", "Charles", "Karen", "Christopher",
+    "Nancy", "Daniel", "Lisa", "Matthew", "Margaret", "Anthony", "Betty",
+    "Mark", "Sandra", "Donald", "Ashley", "Steven", "Dorothy", "Paul",
+    "Kimberly", "Andrew", "Emily", "Joshua", "Donna", "Kenneth", "Michelle",
+    "Kevin", "Carol", "Brian", "Amanda", "George", "Melissa", "Edward",
+    "Deborah", "Ronald", "Stephanie", "Timothy", "Rebecca", "Jason", "Laura",
+    "Jeffrey", "Helen", "Ryan", "Sharon", "Jacob", "Cynthia", "Gary",
+    "Kathleen", "Nicholas", "Amy", "Eric", "Shirley", "Stephen", "Angela",
+    "Jonathan", "Anna", "Larry", "Ruth", "Justin", "Brenda", "Scott",
+    "Pamela", "Brandon", "Nicole", "Frank", "Katherine", "Benjamin",
+    "Samantha", "Gregory", "Christine", "Samuel", "Catherine", "Raymond",
+    "Virginia", "Patrick", "Rachel", "Alexander", "Janet", "Jack", "Maria",
+    "Dennis", "Heather", "Jerry", "Diane", "Tyler", "Julie", "Aaron",
+    "Joyce", "Jose", "Victoria", "Adam", "Kelly", "Nathan", "Christina",
+    "Henry", "Joan", "Douglas", "Evelyn", "Zachary", "Lauren", "Peter",
+    "Judith", "Kyle", "Olivia", "Walter", "Frances", "Ethan", "Martha",
+    "Jeremy", "Cheryl", "Harold", "Megan", "Keith", "Andrea", "Christian",
+    "Hannah", "Roger", "Jacqueline", "Noah", "Ann", "Gerald", "Jean",
+    "Carl", "Alice", "Terry", "Kathryn", "Sean", "Gloria", "Austin",
+    "Teresa", "Arthur", "Doris", "Lawrence", "Sara", "Jesse", "Janice",
+    "Dylan", "Julia", "Bryan", "Marie", "Joe", "Madison", "Jordan", "Grace",
+    "Billy", "Judy", "Bruce", "Theresa", "Albert", "Beverly", "Willie",
+    "Denise", "Gabriel", "Marilyn", "Logan", "Amber", "Alan", "Danielle",
+]
+
+LAST_NAMES = [
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+    "Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez",
+    "Wilson", "Anderson", "Thomas", "Taylor", "Moore", "Jackson", "Martin",
+    "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez", "Clark",
+    "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King",
+    "Wright", "Scott", "Torres", "Nguyen", "Hill", "Flores", "Green",
+    "Adams", "Nelson", "Baker", "Hall", "Rivera", "Campbell", "Mitchell",
+    "Carter", "Roberts", "Gomez", "Phillips", "Evans", "Turner", "Diaz",
+    "Parker", "Cruz", "Edwards", "Collins", "Reyes", "Stewart", "Morris",
+    "Morales", "Murphy", "Cook", "Rogers", "Gutierrez", "Ortiz", "Morgan",
+    "Cooper", "Peterson", "Bailey", "Reed", "Kelly", "Howard", "Ramos",
+    "Kim", "Cox", "Ward", "Richardson", "Watson", "Brooks", "Chavez",
+    "Wood", "James", "Bennett", "Gray", "Mendoza", "Ruiz", "Hughes",
+    "Price", "Alvarez", "Castillo", "Sanders", "Patel", "Myers", "Long",
+    "Ross", "Foster", "Jimenez", "Powell", "Jenkins", "Perry", "Russell",
+    "Sullivan", "Bell", "Coleman", "Butler", "Henderson", "Barnes",
+    "Gonzales", "Fisher", "Vasquez", "Simmons", "Romero", "Jordan",
+    "Patterson", "Alexander", "Hamilton", "Graham", "Reynolds", "Griffin",
+    "Wallace", "Moreno", "West", "Cole", "Hayes", "Bryant", "Herrera",
+    "Gibson", "Ellis", "Tran", "Medina", "Aguilar", "Stevens", "Murray",
+    "Ford", "Castro", "Marshall", "Owens", "Harrison", "Fernandez",
+]
+
+#: City -> (country, US state or province, continent, region)
+CITY_INFO: dict[str, tuple[str, str, str, str]] = {
+    "London": ("United Kingdom", "England", "Europe", "Western Europe"),
+    "Paris": ("France", "Ile-de-France", "Europe", "Western Europe"),
+    "Berlin": ("Germany", "Brandenburg", "Europe", "Central Europe"),
+    "Madrid": ("Spain", "Madrid", "Europe", "Southern Europe"),
+    "Rome": ("Italy", "Lazio", "Europe", "Southern Europe"),
+    "Florence": ("Italy", "Tuscany", "Europe", "Southern Europe"),
+    "Milan": ("Italy", "Lombardy", "Europe", "Southern Europe"),
+    "Warsaw": ("Poland", "Masovia", "Europe", "Eastern Europe"),
+    "Krakow": ("Poland", "Lesser Poland", "Europe", "Eastern Europe"),
+    "Braunschweig": ("Germany", "Lower Saxony", "Europe", "Central Europe"),
+    "Munich": ("Germany", "Bavaria", "Europe", "Central Europe"),
+    "Hamburg": ("Germany", "Hamburg", "Europe", "Central Europe"),
+    "Vienna": ("Austria", "Vienna", "Europe", "Central Europe"),
+    "Prague": ("Czech Republic", "Prague", "Europe", "Central Europe"),
+    "Budapest": ("Hungary", "Budapest", "Europe", "Central Europe"),
+    "Amsterdam": ("Netherlands", "North Holland", "Europe", "Western Europe"),
+    "Brussels": ("Belgium", "Brussels", "Europe", "Western Europe"),
+    "Lisbon": ("Portugal", "Lisbon", "Europe", "Southern Europe"),
+    "Dublin": ("Ireland", "Leinster", "Europe", "Western Europe"),
+    "Stockholm": ("Sweden", "Stockholm", "Europe", "Northern Europe"),
+    "Oslo": ("Norway", "Oslo", "Europe", "Northern Europe"),
+    "Copenhagen": ("Denmark", "Capital Region", "Europe", "Northern Europe"),
+    "Helsinki": ("Finland", "Uusimaa", "Europe", "Northern Europe"),
+    "Athens": ("Greece", "Attica", "Europe", "Southern Europe"),
+    "Zurich": ("Switzerland", "Zurich", "Europe", "Central Europe"),
+    "Geneva": ("Switzerland", "Geneva", "Europe", "Central Europe"),
+    "Barcelona": ("Spain", "Catalonia", "Europe", "Southern Europe"),
+    "Seville": ("Spain", "Andalusia", "Europe", "Southern Europe"),
+    "Porto": ("Portugal", "Norte", "Europe", "Southern Europe"),
+    "Moscow": ("Russia", "Moscow", "Europe", "Eastern Europe"),
+    "Kyiv": ("Ukraine", "Kyiv", "Europe", "Eastern Europe"),
+    "New York": ("United States", "New York", "North America", "Northeast"),
+    "Los Angeles": ("United States", "California", "North America", "West"),
+    "Chicago": ("United States", "Illinois", "North America", "Midwest"),
+    "Houston": ("United States", "Texas", "North America", "South"),
+    "Phoenix": ("United States", "Arizona", "North America", "Southwest"),
+    "Philadelphia": ("United States", "Pennsylvania", "North America", "Northeast"),
+    "San Antonio": ("United States", "Texas", "North America", "South"),
+    "San Diego": ("United States", "California", "North America", "West"),
+    "Dallas": ("United States", "Texas", "North America", "South"),
+    "Austin": ("United States", "Texas", "North America", "South"),
+    "Seattle": ("United States", "Washington", "North America", "Northwest"),
+    "Denver": ("United States", "Colorado", "North America", "Mountain"),
+    "Boston": ("United States", "Massachusetts", "North America", "Northeast"),
+    "Portland": ("United States", "Oregon", "North America", "Northwest"),
+    "Atlanta": ("United States", "Georgia", "North America", "Southeast"),
+    "Miami": ("United States", "Florida", "North America", "Southeast"),
+    "Detroit": ("United States", "Michigan", "North America", "Midwest"),
+    "Minneapolis": ("United States", "Minnesota", "North America", "Midwest"),
+    "Toronto": ("Canada", "Ontario", "North America", "Eastern Canada"),
+    "Vancouver": ("Canada", "British Columbia", "North America", "Western Canada"),
+    "Montreal": ("Canada", "Quebec", "North America", "Eastern Canada"),
+    "Mexico City": ("Mexico", "CDMX", "North America", "Central Mexico"),
+    "Tokyo": ("Japan", "Tokyo", "Asia", "East Asia"),
+    "Osaka": ("Japan", "Osaka", "Asia", "East Asia"),
+    "Kyoto": ("Japan", "Kyoto", "Asia", "East Asia"),
+    "Seoul": ("South Korea", "Seoul", "Asia", "East Asia"),
+    "Beijing": ("China", "Beijing", "Asia", "East Asia"),
+    "Shanghai": ("China", "Shanghai", "Asia", "East Asia"),
+    "Hong Kong": ("China", "Hong Kong", "Asia", "East Asia"),
+    "Singapore": ("Singapore", "Singapore", "Asia", "Southeast Asia"),
+    "Bangkok": ("Thailand", "Bangkok", "Asia", "Southeast Asia"),
+    "Jakarta": ("Indonesia", "Jakarta", "Asia", "Southeast Asia"),
+    "Manila": ("Philippines", "Metro Manila", "Asia", "Southeast Asia"),
+    "Mumbai": ("India", "Maharashtra", "Asia", "South Asia"),
+    "Delhi": ("India", "Delhi", "Asia", "South Asia"),
+    "Bangalore": ("India", "Karnataka", "Asia", "South Asia"),
+    "Karachi": ("Pakistan", "Sindh", "Asia", "South Asia"),
+    "Dubai": ("United Arab Emirates", "Dubai", "Asia", "Middle East"),
+    "Istanbul": ("Turkey", "Istanbul", "Asia", "Middle East"),
+    "Tel Aviv": ("Israel", "Tel Aviv", "Asia", "Middle East"),
+    "Cairo": ("Egypt", "Cairo", "Africa", "North Africa"),
+    "Lagos": ("Nigeria", "Lagos", "Africa", "West Africa"),
+    "Nairobi": ("Kenya", "Nairobi", "Africa", "East Africa"),
+    "Johannesburg": ("South Africa", "Gauteng", "Africa", "Southern Africa"),
+    "Cape Town": ("South Africa", "Western Cape", "Africa", "Southern Africa"),
+    "Casablanca": ("Morocco", "Casablanca", "Africa", "North Africa"),
+    "Sydney": ("Australia", "New South Wales", "Oceania", "Australia"),
+    "Melbourne": ("Australia", "Victoria", "Oceania", "Australia"),
+    "Brisbane": ("Australia", "Queensland", "Oceania", "Australia"),
+    "Auckland": ("New Zealand", "Auckland", "Oceania", "New Zealand"),
+    "Wellington": ("New Zealand", "Wellington", "Oceania", "New Zealand"),
+    "Sao Paulo": ("Brazil", "Sao Paulo", "South America", "Southeast Brazil"),
+    "Rio de Janeiro": ("Brazil", "Rio de Janeiro", "South America", "Southeast Brazil"),
+    "Buenos Aires": ("Argentina", "Buenos Aires", "South America", "Pampas"),
+    "Santiago": ("Chile", "Santiago", "South America", "Central Chile"),
+    "Lima": ("Peru", "Lima", "South America", "Coast"),
+    "Bogota": ("Colombia", "Bogota", "South America", "Andes"),
+    "Caracas": ("Venezuela", "Capital District", "South America", "Caribbean Coast"),
+    "Quito": ("Ecuador", "Pichincha", "South America", "Andes"),
+    "Edinburgh": ("United Kingdom", "Scotland", "Europe", "Northern Europe"),
+    "Manchester": ("United Kingdom", "England", "Europe", "Western Europe"),
+    "Liverpool": ("United Kingdom", "England", "Europe", "Western Europe"),
+    "Birmingham": ("United Kingdom", "England", "Europe", "Western Europe"),
+    "Glasgow": ("United Kingdom", "Scotland", "Europe", "Northern Europe"),
+    "Lyon": ("France", "Auvergne-Rhone-Alpes", "Europe", "Western Europe"),
+    "Marseille": ("France", "Provence", "Europe", "Western Europe"),
+    "Naples": ("Italy", "Campania", "Europe", "Southern Europe"),
+    "Turin": ("Italy", "Piedmont", "Europe", "Southern Europe"),
+    "Valencia": ("Spain", "Valencia", "Europe", "Southern Europe"),
+}
+
+CITIES = list(CITY_INFO.keys())
+COUNTRIES = sorted({info[0] for info in CITY_INFO.values()})
+CONTINENTS = ["Europe", "Asia", "Africa", "North America", "South America", "Oceania"]
+
+US_STATES = [
+    "Alabama", "Alaska", "Arizona", "Arkansas", "California", "Colorado",
+    "Connecticut", "Delaware", "Florida", "Georgia", "Hawaii", "Idaho",
+    "Illinois", "Indiana", "Iowa", "Kansas", "Kentucky", "Louisiana",
+    "Maine", "Maryland", "Massachusetts", "Michigan", "Minnesota",
+    "Mississippi", "Missouri", "Montana", "Nebraska", "Nevada",
+    "New Hampshire", "New Jersey", "New Mexico", "New York",
+    "North Carolina", "North Dakota", "Ohio", "Oklahoma", "Oregon",
+    "Pennsylvania", "Rhode Island", "South Carolina", "South Dakota",
+    "Tennessee", "Texas", "Utah", "Vermont", "Virginia", "Washington",
+    "West Virginia", "Wisconsin", "Wyoming",
+]
+
+COUNTIES = [
+    "Orange County", "Kings County", "Cook County", "Harris County",
+    "Maricopa County", "San Diego County", "Dallas County", "Riverside County",
+    "Clark County", "Wayne County", "Broward County", "Bexar County",
+    "Santa Clara County", "Alameda County", "Middlesex County",
+    "Suffolk County", "Fairfax County", "Franklin County", "Hennepin County",
+    "Travis County", "Cuyahoga County", "Allegheny County", "Oakland County",
+    "Montgomery County", "Fulton County", "Pima County", "Essex County",
+    "Westchester County", "Milwaukee County", "Fresno County", "Shelby County",
+    "Hartford County", "Marion County", "Kent County", "Lancashire",
+    "Yorkshire", "Surrey", "Kent", "Hampshire", "Devon", "Somerset",
+    "Norfolk", "Cornwall", "Cheshire", "Cumbria",
+]
+
+NATIONALITIES = [
+    "American", "British", "German", "French", "Italian", "Spanish",
+    "Polish", "Dutch", "Belgian", "Swiss", "Austrian", "Swedish",
+    "Norwegian", "Danish", "Finnish", "Irish", "Portuguese", "Greek",
+    "Russian", "Ukrainian", "Turkish", "Japanese", "Korean", "Chinese",
+    "Indian", "Pakistani", "Brazilian", "Argentine", "Chilean", "Mexican",
+    "Canadian", "Australian", "Egyptian", "Nigerian", "Kenyan",
+    "South African", "Moroccan", "Israeli", "Thai", "Indonesian",
+    "Filipino", "Vietnamese", "Czech", "Hungarian", "Romanian",
+]
+
+LANGUAGES = [
+    "English", "French", "German", "Spanish", "Italian", "Portuguese",
+    "Dutch", "Polish", "Russian", "Ukrainian", "Czech", "Slovak",
+    "Hungarian", "Romanian", "Greek", "Turkish", "Arabic", "Hebrew",
+    "Hindi", "Urdu", "Bengali", "Tamil", "Mandarin", "Cantonese",
+    "Japanese", "Korean", "Thai", "Vietnamese", "Indonesian", "Malay",
+    "Swahili", "Swedish", "Norwegian", "Danish", "Finnish", "Icelandic",
+]
+
+RELIGIONS = [
+    "Christianity", "Islam", "Hinduism", "Buddhism", "Judaism", "Sikhism",
+    "Catholic", "Protestant", "Orthodox", "Baptist", "Methodist", "Lutheran",
+    "Anglican", "Presbyterian", "Shinto", "Taoism", "Jainism", "Atheist",
+    "Agnostic", "None",
+]
+
+CURRENCIES = [
+    "USD", "EUR", "GBP", "JPY", "CHF", "CAD", "AUD", "NZD", "SEK", "NOK",
+    "DKK", "PLN", "CZK", "HUF", "RUB", "TRY", "CNY", "HKD", "SGD", "INR",
+    "BRL", "ARS", "CLP", "MXN", "ZAR", "KRW", "THB", "IDR", "PHP", "MYR",
+]
+
+TEAMS = [
+    "Eagles", "Tigers", "Lions", "Bears", "Wolves", "Sharks", "Hawks",
+    "Falcons", "Panthers", "Bulls", "Rangers", "Rovers", "United",
+    "City", "Athletic", "Wanderers", "Dynamo", "Spartans", "Titans",
+    "Warriors", "Knights", "Pirates", "Vikings", "Raiders", "Chargers",
+    "Thunder", "Lightning", "Storm", "Hurricanes", "Avalanche", "Comets",
+    "Rockets", "Stars", "Galaxy", "Metros", "Royals", "Senators",
+    "Kings", "Dukes", "Saints",
+]
+
+CLUBS = [
+    "FC Barcelona", "Real Madrid", "Manchester United", "Liverpool FC",
+    "Chelsea FC", "Arsenal FC", "Bayern Munich", "Borussia Dortmund",
+    "Juventus", "AC Milan", "Inter Milan", "Paris Saint-Germain",
+    "Ajax Amsterdam", "FC Porto", "Benfica", "Celtic FC", "Rangers FC",
+    "Atletico Madrid", "Sevilla FC", "Valencia CF", "AS Roma", "Lazio",
+    "Napoli", "Tottenham Hotspur", "Manchester City", "Everton FC",
+    "Leeds United", "West Ham United", "Newcastle United", "Aston Villa",
+    "RB Leipzig", "Schalke 04", "Olympique Lyonnais", "AS Monaco",
+    "Sporting CP", "Feyenoord", "PSV Eindhoven", "Galatasaray",
+    "Fenerbahce", "Besiktas",
+]
+
+SPORT_POSITIONS = [
+    "Goalkeeper", "Defender", "Midfielder", "Forward", "Striker", "Winger",
+    "Centre Back", "Full Back", "Pitcher", "Catcher", "Shortstop",
+    "First Base", "Second Base", "Third Base", "Outfield", "Point Guard",
+    "Shooting Guard", "Small Forward", "Power Forward", "Center",
+    "Quarterback", "Running Back", "Wide Receiver", "Linebacker",
+    "Tight End", "Safety", "Cornerback", "Prop", "Hooker", "Fly-half",
+]
+
+COMPANIES = [
+    "Acme Corporation", "Globex Industries", "Initech", "Umbrella Corp",
+    "Stark Industries", "Wayne Enterprises", "Cyberdyne Systems",
+    "Wonka Industries", "Tyrell Corporation", "Soylent Corp",
+    "Massive Dynamic", "Hooli", "Pied Piper", "Aperture Science",
+    "Black Mesa", "Oscorp", "LexCorp", "Weyland-Yutani", "Nakatomi Trading",
+    "Gringotts Bank", "Sterling Cooper", "Dunder Mifflin", "Prestige Worldwide",
+    "Vandelay Industries", "Bluth Company", "Gekko and Co", "Duff Brewing",
+    "Oceanic Airlines", "Virtucon", "Zorin Industries", "Northwind Traders",
+    "Contoso Ltd", "Fabrikam Inc", "Adventure Works", "Tailspin Toys",
+    "Wide World Importers", "Proseware Inc", "Litware Inc", "Lucerne Publishing",
+    "Graphic Design Institute",
+]
+
+INDUSTRIES = [
+    "Technology", "Finance", "Healthcare", "Retail", "Manufacturing",
+    "Energy", "Telecommunications", "Automotive", "Aerospace",
+    "Pharmaceuticals", "Agriculture", "Construction", "Education",
+    "Entertainment", "Hospitality", "Insurance", "Logistics", "Media",
+    "Mining", "Real Estate", "Transportation", "Utilities", "Banking",
+    "Biotechnology", "Consulting", "Defense", "Electronics", "Fashion",
+    "Food and Beverage", "Gaming",
+]
+
+BRANDS = [
+    "Alpina", "Nordica", "Vertex", "Solara", "Kestrel", "Meridian",
+    "Zephyr", "Aurora", "Cascade", "Pinnacle", "Summit", "Horizon",
+    "Odyssey", "Voyager", "Pioneer", "Frontier", "Quantum", "Nimbus",
+    "Stellar", "Eclipse", "Mirage", "Phoenix", "Titanix", "Evergreen",
+    "Redwood", "Bluebird", "Silverline", "Goldcrest", "Ironclad", "Swift",
+]
+
+MANUFACTURERS = [
+    "Precision Tools GmbH", "Apex Manufacturing", "Omega Works",
+    "Delta Fabrication", "Sigma Industrial", "Vulcan Foundry",
+    "Atlas Machining", "Orion Assemblies", "Helios Components",
+    "Titan Engineering", "Nova Plastics", "Crest Metals",
+    "Summit Electronics", "Pinnacle Motors", "Meridian Textiles",
+    "Cascade Ceramics", "Zenith Optics", "Polaris Instruments",
+    "Aurora Chemicals", "Evergreen Packaging",
+]
+
+PRODUCTS = [
+    "Wireless Mouse", "Mechanical Keyboard", "USB-C Cable", "Laptop Stand",
+    "Noise Cancelling Headphones", "Portable Charger", "Smart Watch",
+    "Fitness Tracker", "Bluetooth Speaker", "Webcam", "Desk Lamp",
+    "Office Chair", "Standing Desk", "Monitor Arm", "External SSD",
+    "Memory Card", "Router", "Network Switch", "Graphics Tablet",
+    "Espresso Machine", "Electric Kettle", "Air Purifier", "Vacuum Cleaner",
+    "Blender", "Toaster Oven", "Rice Cooker", "Water Bottle", "Backpack",
+    "Travel Mug", "Notebook",
+]
+
+ALBUMS = [
+    "Midnight Echoes", "Golden Hour", "Paper Skies", "Electric Dreams",
+    "Silent Rivers", "Neon Gardens", "Broken Compass", "Velvet Morning",
+    "Crimson Tide", "Glass Houses", "Wildfire Season", "Northern Lights",
+    "Gravity Falls", "Ocean Avenue", "Starlight Motel", "Winter Stories",
+    "Summer Nights", "Autumn Leaves", "Spring Awakening", "Desert Bloom",
+    "City of Mirrors", "Long Way Home", "Endless Highway", "Quiet Storm",
+    "Fading Photographs", "Hollow Moon", "Scarlet Letters", "Emerald City",
+    "Shadow Dancing", "Infinite Loop",
+]
+
+GENRES = [
+    "Rock", "Pop", "Jazz", "Blues", "Classical", "Country", "Folk",
+    "Hip Hop", "R&B", "Electronic", "House", "Techno", "Ambient", "Metal",
+    "Punk", "Reggae", "Soul", "Funk", "Gospel", "Latin", "Opera",
+    "Indie", "Alternative", "Drama", "Comedy", "Thriller", "Horror",
+    "Documentary", "Romance", "Science Fiction", "Fantasy", "Mystery",
+    "Biography", "History", "Adventure", "Animation",
+]
+
+ARTISTS = [
+    "The Velvet Sparrows", "Luna Hartley", "Ezra Blackwood", "Crimson Valley",
+    "Nora Vance", "The Midnight Owls", "Silas Grey", "Ivy Montgomery",
+    "Echo Chamber", "The Paper Lanterns", "Jasper Cole", "Aria Winters",
+    "Stone Harbor", "Ruby Callahan", "The Wandering Pines", "Felix Marlowe",
+    "Willow Reyes", "Atlas Turner", "The Glass Animals Tribute",
+    "Margot Delacroix", "Orion Wells", "Scarlet Finch", "Hollow Kings",
+    "June Abernathy", "The Copper Foxes", "Dorian Ashe", "Violet Mercer",
+    "The Salt Flats", "Rhys Callahan", "Beatrix Stone",
+]
+
+PUBLISHERS = [
+    "Penguin Random House", "HarperCollins", "Simon and Schuster",
+    "Hachette Book Group", "Macmillan Publishers", "Scholastic",
+    "Oxford University Press", "Cambridge University Press",
+    "Wiley", "Springer", "Elsevier", "Pearson", "McGraw-Hill",
+    "Bloomsbury", "Faber and Faber", "Vintage Books", "Anchor Books",
+    "Riverhead Books", "Grove Press", "Tor Books", "Orbit Books",
+    "Del Rey", "Bantam Books", "Doubleday", "Knopf", "Crown Publishing",
+    "Little Brown", "Houghton Mifflin", "Norton", "Beacon Press",
+]
+
+SPECIES = [
+    "Panthera leo", "Panthera tigris", "Canis lupus", "Felis catus",
+    "Ursus arctos", "Elephas maximus", "Loxodonta africana",
+    "Equus caballus", "Bos taurus", "Ovis aries", "Sus scrofa",
+    "Gallus gallus", "Anas platyrhynchos", "Falco peregrinus",
+    "Aquila chrysaetos", "Corvus corax", "Passer domesticus",
+    "Salmo salar", "Thunnus thynnus", "Carcharodon carcharias",
+    "Delphinus delphis", "Balaenoptera musculus", "Apis mellifera",
+    "Danaus plexippus", "Quercus robur", "Pinus sylvestris",
+    "Sequoia sempervirens", "Rosa canina", "Tulipa gesneriana",
+    "Helianthus annuus",
+]
+
+FAMILIES = [
+    "Felidae", "Canidae", "Ursidae", "Elephantidae", "Equidae", "Bovidae",
+    "Suidae", "Phasianidae", "Anatidae", "Falconidae", "Accipitridae",
+    "Corvidae", "Passeridae", "Salmonidae", "Scombridae", "Lamnidae",
+    "Delphinidae", "Balaenopteridae", "Apidae", "Nymphalidae", "Fagaceae",
+    "Pinaceae", "Cupressaceae", "Rosaceae", "Liliaceae", "Asteraceae",
+    "Smith family", "Johnson family", "Garcia family", "Nguyen family",
+]
+
+COLORS = [
+    "Red", "Blue", "Green", "Yellow", "Black", "White", "Silver", "Gold",
+    "Orange", "Purple", "Brown", "Grey", "Navy", "Teal", "Maroon", "Olive",
+]
+
+OCCUPATIONS = [
+    "Engineer", "Teacher", "Physician", "Nurse", "Lawyer", "Accountant",
+    "Architect", "Scientist", "Writer", "Journalist", "Photographer",
+    "Chef", "Pilot", "Electrician", "Plumber", "Carpenter", "Farmer",
+    "Professor", "Economist", "Designer", "Composer", "Painter",
+    "Sculptor", "Actor", "Director", "Producer", "Musician", "Singer",
+    "Dancer", "Athlete", "Coach", "Politician", "Diplomat", "Historian",
+    "Philosopher", "Mathematician", "Physicist", "Chemist", "Biologist",
+    "Astronomer",
+]
+
+EDUCATION_LEVELS = [
+    "High School Diploma", "Associate Degree", "Bachelor of Arts",
+    "Bachelor of Science", "Master of Arts", "Master of Science",
+    "Master of Business Administration", "Doctor of Philosophy",
+    "Doctor of Medicine", "Juris Doctor", "Bachelor of Engineering",
+    "Master of Engineering", "Postdoctoral", "Vocational Training",
+    "Some College", "Graduate Certificate",
+]
+
+DEGREES = EDUCATION_LEVELS
+
+STATUS_WORDS = [
+    "Active", "Inactive", "Pending", "Completed", "Cancelled", "Open",
+    "Closed", "Approved", "Rejected", "In Progress", "On Hold", "Draft",
+    "Published", "Archived", "Suspended", "Retired", "Expired", "New",
+    "Confirmed", "Shipped", "Delivered", "Returned", "Failed", "Passed",
+]
+
+RESULT_WORDS = [
+    "Win", "Loss", "Draw", "W", "L", "D", "Pass", "Fail", "1-0", "2-1",
+    "3-2", "0-0", "1-1", "2-2", "4-0", "3-1", "2-0", "5-2", "Qualified",
+    "Eliminated", "Advanced", "Disqualified", "Retired", "DNF", "DNS",
+    "Finished", "Gold", "Silver", "Bronze", "4th",
+]
+
+CATEGORY_WORDS = [
+    "Electronics", "Clothing", "Books", "Toys", "Sports", "Garden",
+    "Automotive", "Beauty", "Health", "Grocery", "Furniture", "Jewelry",
+    "Music", "Movies", "Games", "Office", "Pet Supplies", "Baby",
+    "Outdoor", "Tools", "Appliances", "Crafts", "Travel", "Fiction",
+    "Non-fiction", "Reference", "Senior", "Junior", "Amateur", "Professional",
+    "Open", "Women", "Men", "Youth", "Mixed",
+]
+
+CLASS_WORDS = [
+    "A", "B", "C", "D", "E", "First Class", "Second Class", "Third Class",
+    "Economy", "Business", "Premium", "Standard", "Deluxe", "Compact",
+    "Mid-size", "Full-size", "Class I", "Class II", "Class III",
+    "Heavyweight", "Lightweight", "Middleweight", "Featherweight",
+    "Freshman", "Sophomore", "Junior", "Senior",
+]
+
+FORMAT_WORDS = [
+    "PDF", "CSV", "XML", "JSON", "HTML", "TXT", "DOC", "DOCX", "XLS",
+    "XLSX", "PPT", "MP3", "MP4", "WAV", "FLAC", "AVI", "MKV", "JPEG",
+    "PNG", "GIF", "TIFF", "SVG", "ZIP", "TAR", "Hardcover", "Paperback",
+    "E-book", "Audiobook", "Vinyl", "CD", "DVD", "Blu-ray", "Digital",
+    "Streaming",
+]
+
+SERVICE_WORDS = [
+    "Delivery", "Installation", "Maintenance", "Repair", "Consulting",
+    "Training", "Support", "Cleaning", "Catering", "Security",
+    "Landscaping", "Accounting", "Legal Advice", "Translation", "Design",
+    "Hosting", "Backup", "Monitoring", "Streaming", "Subscription",
+    "Express Shipping", "Standard Shipping", "Gift Wrapping",
+    "Extended Warranty", "Technical Support", "Customer Service",
+    "Bus Service", "Rail Service", "Ferry Service", "Shuttle Service",
+]
+
+COMMAND_WORDS = [
+    "ls", "cd", "mkdir", "rm", "cp", "mv", "cat", "grep", "find", "chmod",
+    "chown", "tar", "zip", "ssh", "scp", "ping", "curl", "wget", "top",
+    "ps", "kill", "sudo", "apt-get install", "pip install", "git clone",
+    "git commit", "git push", "docker run", "make build", "npm install",
+    "SELECT", "INSERT", "UPDATE", "DELETE", "CREATE TABLE",
+]
+
+REQUIREMENT_WORDS = [
+    "Valid ID required", "Minimum age 18", "Prior experience required",
+    "Bachelor degree required", "Background check", "Security clearance",
+    "Driver license", "Work permit", "Health certificate", "Insurance proof",
+    "Deposit required", "Reservation required", "Membership required",
+    "Prerequisite course", "Minimum GPA 3.0", "Two references",
+    "Portfolio submission", "Resume and cover letter", "Medical exam",
+    "Fitness test", "Language proficiency", "Typing 60 wpm",
+    "5 years experience", "Certification required", "Passport required",
+]
+
+COMPONENT_WORDS = [
+    "CPU", "GPU", "Motherboard", "RAM Module", "Power Supply", "Heat Sink",
+    "Cooling Fan", "SSD Drive", "Hard Drive", "Network Card",
+    "Sound Card", "Capacitor", "Resistor", "Transistor", "Diode",
+    "Inductor", "Relay", "Fuse", "Sensor", "Actuator", "Gearbox",
+    "Crankshaft", "Piston", "Radiator", "Alternator", "Battery Pack",
+    "Brake Pad", "Spark Plug", "Fuel Pump", "Timing Belt",
+]
+
+COLLECTION_WORDS = [
+    "Spring Collection", "Summer Collection", "Autumn Collection",
+    "Winter Collection", "Heritage Collection", "Limited Edition",
+    "Signature Series", "Classic Collection", "Modern Art Collection",
+    "Ancient Artifacts", "Rare Books", "Coin Collection",
+    "Stamp Collection", "Photography Archive", "Manuscript Collection",
+    "Impressionist Works", "Renaissance Gallery", "Asian Art",
+    "Contemporary Wing", "Natural History Specimens", "Mineral Collection",
+    "Fossil Collection", "Textile Archive", "Ceramics Collection",
+    "Sculpture Garden",
+]
+
+AFFILIATIONS = [
+    "Independent", "Democratic Party", "Republican Party", "Labour Party",
+    "Conservative Party", "Green Party", "Liberal Democrats",
+    "Social Democrats", "National University", "State College",
+    "Technical Institute", "Research Hospital", "Medical Center",
+    "Community Church", "Trade Union", "Chamber of Commerce",
+    "Rotary Club", "Lions Club", "Alumni Association", "Bar Association",
+    "Medical Association", "Engineering Society", "Historical Society",
+    "Arts Council", "Athletic Conference",
+]
+
+ORGANISATIONS = [
+    "United Nations", "World Health Organization", "Red Cross",
+    "Doctors Without Borders", "Amnesty International", "Greenpeace",
+    "World Wildlife Fund", "UNICEF", "UNESCO", "World Bank",
+    "International Monetary Fund", "European Union", "African Union",
+    "NATO", "OPEC", "ASEAN", "Interpol", "Salvation Army", "Oxfam",
+    "Habitat for Humanity", "Rotary International", "Scouts Association",
+    "National Geographic Society", "Smithsonian Institution",
+    "British Council",
+]
+
+OPERATORS = [
+    "National Rail", "Metro Transit", "City Bus Lines", "Express Coaches",
+    "Skyline Airways", "Pacific Airlines", "Atlantic Air", "Northern Rail",
+    "Southern Railways", "Central Metro", "Harbor Ferries", "Star Cruises",
+    "Swift Logistics", "Prime Couriers", "Vodacom", "Telenor", "Orange",
+    "Vodafone", "T-Mobile", "Verizon", "AT&T", "Sprint", "BT Group",
+    "Deutsche Telekom", "Telefonica",
+]
+
+DAYS = [
+    "Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday",
+    "Sunday", "Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun",
+]
+
+MONTHS = [
+    "January", "February", "March", "April", "May", "June", "July",
+    "August", "September", "October", "November", "December",
+]
+
+GENDERS = ["Male", "Female", "M", "F", "Non-binary", "Other"]
+SEXES = ["Male", "Female", "M", "F"]
+
+GRADES = [
+    "A+", "A", "A-", "B+", "B", "B-", "C+", "C", "C-", "D+", "D", "F",
+    "Pass", "Fail", "Distinction", "Merit", "Credit", "Grade 1", "Grade 2",
+    "Grade 3", "Grade 4", "Grade 5", "K", "1st", "2nd", "3rd", "4th",
+    "5th", "6th", "7th", "8th",
+]
+
+REGIONS = [
+    "North", "South", "East", "West", "Northeast", "Northwest", "Southeast",
+    "Southwest", "Central", "Midwest", "Pacific Northwest", "New England",
+    "Scandinavia", "Balkans", "Benelux", "Iberia", "Caucasus",
+    "Central Asia", "Southeast Asia", "East Asia", "South Asia",
+    "Middle East", "North Africa", "Sub-Saharan Africa", "Latin America",
+    "Caribbean", "Oceania", "Western Europe", "Eastern Europe", "Nordic",
+]
+
+DESCRIPTION_PHRASES = [
+    "High quality product with excellent durability",
+    "Annual meeting of the board of directors",
+    "Limited edition release for collectors",
+    "Standard shipping included in the price",
+    "Award winning performance by the lead actor",
+    "Comprehensive coverage of the subject matter",
+    "Monthly subscription with unlimited access",
+    "Handcrafted from sustainable materials",
+    "Introductory course for beginners",
+    "Advanced features for professional users",
+    "Compact design suitable for travel",
+    "Energy efficient and environmentally friendly",
+    "Classic style with modern improvements",
+    "Includes a two year manufacturer warranty",
+    "Best seller in its category for three years",
+    "Newly renovated with updated facilities",
+    "Family friendly venue with free parking",
+    "Scenic route along the coastline",
+    "Historic landmark built in the nineteenth century",
+    "Popular destination for summer tourists",
+    "Quarterly financial report summary",
+    "Detailed analysis of market trends",
+    "Emergency contact information on file",
+    "Temporary closure for scheduled maintenance",
+    "Special discount for returning customers",
+]
+
+NOTE_PHRASES = [
+    "See attached document", "Requires further review", "Approved by manager",
+    "Pending confirmation", "Follow up next week", "No longer available",
+    "Updated last month", "Check inventory before shipping",
+    "Customer requested refund", "Duplicate entry removed",
+    "Verified by phone", "Left voicemail", "Meeting rescheduled",
+    "Contract signed", "Payment received", "Awaiting response",
+    "Out of office until Monday", "Priority handling", "Fragile item",
+    "Gift wrapping requested", "Backordered", "Discontinued model",
+    "Replacement issued", "Warranty void", "Final sale",
+]
+
+STREET_NAMES = [
+    "Main", "Oak", "Maple", "Cedar", "Elm", "Pine", "Washington", "Lake",
+    "Hill", "Park", "River", "Church", "High", "Mill", "Walnut", "Spring",
+    "North", "South", "Center", "Union", "Bridge", "Market", "Franklin",
+    "Jefferson", "Lincoln", "Madison", "Jackson", "Station", "College",
+    "Victoria",
+]
+
+STREET_SUFFIXES = [
+    "Street", "Avenue", "Boulevard", "Road", "Lane", "Drive", "Court",
+    "Place", "Terrace", "Way",
+]

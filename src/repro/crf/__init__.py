@@ -1,0 +1,12 @@
+"""Linear-chain conditional random field (the structured-prediction module).
+
+Unary potentials are the (log of) column-wise prediction scores from the
+topic-aware model; pairwise potentials are a trainable ``|T| x |T|`` matrix
+initialised from adjacent-column co-occurrence counts.  Training maximises
+the per-table log-likelihood with Adam; prediction uses Viterbi decoding.
+"""
+
+from repro.crf.linear_chain import LinearChainCRF
+from repro.crf.trainer import CRFTrainer, CRFTrainingExample
+
+__all__ = ["LinearChainCRF", "CRFTrainer", "CRFTrainingExample"]

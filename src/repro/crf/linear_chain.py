@@ -1,0 +1,195 @@
+"""Linear-chain CRF with exact inference.
+
+For a table with columns ``c_1 .. c_m`` and candidate types ``t_1 .. t_m``:
+
+.. math::
+
+    P(t | c) = \\frac{1}{Z(c)} \\exp\\Big(\\sum_i \\psi_{UNI}(t_i, c_i)
+               + \\sum_i \\psi_{PAIR}(t_i, t_{i+1})\\Big)
+
+``Z`` is computed exactly with the forward algorithm (log-sum-exp), the MAP
+sequence with Viterbi, and pairwise/unary marginals with forward-backward —
+all in log-space for numerical stability.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from scipy.special import logsumexp
+
+__all__ = ["LinearChainCRF"]
+
+
+class LinearChainCRF:
+    """Linear-chain CRF over semantic-type sequences.
+
+    Parameters
+    ----------
+    n_states:
+        Number of semantic types.
+    pairwise:
+        Optional initial pairwise potential matrix of shape
+        ``(n_states, n_states)``; defaults to zeros.
+    unary_weight:
+        Scalar multiplier applied to unary potentials (fixed to 1 in the
+        paper's setting; exposed for ablations).
+    """
+
+    def __init__(
+        self,
+        n_states: int,
+        pairwise: np.ndarray | None = None,
+        unary_weight: float = 1.0,
+    ) -> None:
+        if n_states < 1:
+            raise ValueError("n_states must be positive")
+        self.n_states = n_states
+        if pairwise is None:
+            pairwise = np.zeros((n_states, n_states), dtype=np.float64)
+        pairwise = np.asarray(pairwise, dtype=np.float64)
+        if pairwise.shape != (n_states, n_states):
+            raise ValueError("pairwise matrix has wrong shape")
+        self.pairwise = pairwise.copy()
+        self.unary_weight = float(unary_weight)
+
+    # ----------------------------------------------------------- inference
+
+    def _check_unary(self, unary: np.ndarray) -> np.ndarray:
+        unary = np.asarray(unary, dtype=np.float64)
+        if unary.ndim != 2 or unary.shape[1] != self.n_states:
+            raise ValueError(
+                f"unary potentials must have shape (m, {self.n_states})"
+            )
+        return self.unary_weight * unary
+
+    def log_partition(self, unary: np.ndarray) -> float:
+        """Log of the normalisation constant Z(c) via the forward algorithm."""
+        unary = self._check_unary(unary)
+        alpha = unary[0].copy()
+        for i in range(1, unary.shape[0]):
+            alpha = unary[i] + logsumexp(alpha[:, None] + self.pairwise, axis=0)
+        return float(logsumexp(alpha))
+
+    def score(self, unary: np.ndarray, labels: np.ndarray) -> float:
+        """Unnormalised log-score of a label sequence."""
+        unary = self._check_unary(unary)
+        labels = np.asarray(labels, dtype=np.int64)
+        if labels.shape[0] != unary.shape[0]:
+            raise ValueError("labels and unary lengths differ")
+        total = float(unary[np.arange(unary.shape[0]), labels].sum())
+        for a, b in zip(labels, labels[1:]):
+            total += float(self.pairwise[a, b])
+        return total
+
+    def log_likelihood(self, unary: np.ndarray, labels: np.ndarray) -> float:
+        """Log-probability of the gold label sequence."""
+        return self.score(unary, labels) - self.log_partition(unary)
+
+    def forward_backward(self, unary: np.ndarray) -> tuple[np.ndarray, np.ndarray, float]:
+        """Forward and backward log-messages and the log-partition."""
+        unary = self._check_unary(unary)
+        m = unary.shape[0]
+        alpha = np.zeros((m, self.n_states))
+        beta = np.zeros((m, self.n_states))
+        alpha[0] = unary[0]
+        for i in range(1, m):
+            alpha[i] = unary[i] + logsumexp(
+                alpha[i - 1][:, None] + self.pairwise, axis=0
+            )
+        beta[m - 1] = 0.0
+        for i in range(m - 2, -1, -1):
+            beta[i] = logsumexp(
+                self.pairwise + (unary[i + 1] + beta[i + 1])[None, :], axis=1
+            )
+        log_z = float(logsumexp(alpha[m - 1]))
+        return alpha, beta, log_z
+
+    def marginals(self, unary: np.ndarray) -> np.ndarray:
+        """Per-column posterior marginals P(t_i | c)."""
+        alpha, beta, log_z = self.forward_backward(unary)
+        return np.exp(alpha + beta - log_z)
+
+    def pairwise_marginals(self, unary: np.ndarray) -> np.ndarray:
+        """Posterior pairwise marginals P(t_i, t_{i+1} | c), shape (m-1, S, S)."""
+        scaled = self._check_unary(unary)
+        alpha, beta, log_z = self.forward_backward(unary)
+        m = scaled.shape[0]
+        result = np.zeros((max(0, m - 1), self.n_states, self.n_states))
+        for i in range(m - 1):
+            log_joint = (
+                alpha[i][:, None]
+                + self.pairwise
+                + (scaled[i + 1] + beta[i + 1])[None, :]
+                - log_z
+            )
+            result[i] = np.exp(log_joint)
+        return result
+
+    def viterbi(self, unary: np.ndarray) -> np.ndarray:
+        """MAP decoding of the most probable type sequence."""
+        unary = self._check_unary(unary)
+        m = unary.shape[0]
+        if m == 0:
+            return np.zeros(0, dtype=np.int64)
+        delta = unary[0].copy()
+        backpointers = np.zeros((m, self.n_states), dtype=np.int64)
+        for i in range(1, m):
+            scores = delta[:, None] + self.pairwise
+            backpointers[i] = np.argmax(scores, axis=0)
+            delta = unary[i] + scores[backpointers[i], np.arange(self.n_states)]
+        best = np.zeros(m, dtype=np.int64)
+        best[m - 1] = int(np.argmax(delta))
+        for i in range(m - 2, -1, -1):
+            best[i] = backpointers[i + 1, best[i + 1]]
+        return best
+
+    # ------------------------------------------------------------ learning
+
+    def gradients(self, unary: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        """Gradient of the log-likelihood with respect to the pairwise matrix.
+
+        Equals observed adjacent-pair counts minus expected counts under the
+        model's posterior (the classic CRF moment-matching gradient).
+        """
+        labels = np.asarray(labels, dtype=np.int64)
+        grad = np.zeros_like(self.pairwise)
+        for a, b in zip(labels, labels[1:]):
+            grad[a, b] += 1.0
+        if labels.shape[0] > 1:
+            grad -= self.pairwise_marginals(unary).sum(axis=0)
+        return grad
+
+    # -------------------------------------------------------- serialisation
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Serialisable state."""
+        return {
+            "pairwise": self.pairwise.copy(),
+            "unary_weight": np.array([self.unary_weight]),
+        }
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore state produced by :meth:`state_dict`."""
+        self.pairwise = np.asarray(state["pairwise"], dtype=np.float64).copy()
+        if "unary_weight" in state:
+            self.unary_weight = float(np.asarray(state["unary_weight"]).ravel()[0])
+
+    @classmethod
+    def from_cooccurrence(
+        cls,
+        cooccurrence: np.ndarray,
+        scale: float = 1.0,
+        smoothing: float = 1.0,
+    ) -> "LinearChainCRF":
+        """Initialise pairwise potentials from adjacent co-occurrence counts.
+
+        The paper initialises the CRF pairwise parameters with the column
+        co-occurrence matrix computed from a held-out WebTables sample; log
+        counts keep the potentials on the same scale as log-probability
+        unaries.
+        """
+        cooccurrence = np.asarray(cooccurrence, dtype=np.float64)
+        pairwise = scale * np.log(cooccurrence + smoothing)
+        pairwise -= pairwise.mean()
+        return cls(n_states=cooccurrence.shape[0], pairwise=pairwise)

@@ -1,0 +1,25 @@
+"""Distributional embedding substrate.
+
+Sherlock's Word and Para features rely on pre-trained GloVe word vectors and
+gensim paragraph vectors.  Neither is available offline, so this package
+trains the closest equivalent directly on the corpus: PPMI + truncated-SVD
+word embeddings over cell-value tokens, and idf-weighted mean word vectors as
+paragraph (column) embeddings.  A hashing embedder is provided as a
+training-free fallback and as the token representation of the attention
+column model.
+"""
+
+from repro.embeddings.tokenizer import tokenize, tokenize_values
+from repro.embeddings.vocabulary import Vocabulary
+from repro.embeddings.word2vec import WordEmbeddingModel
+from repro.embeddings.paragraph import ParagraphEmbedder
+from repro.embeddings.hashing import HashingEmbedder
+
+__all__ = [
+    "tokenize",
+    "tokenize_values",
+    "Vocabulary",
+    "WordEmbeddingModel",
+    "ParagraphEmbedder",
+    "HashingEmbedder",
+]

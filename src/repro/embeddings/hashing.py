@@ -1,0 +1,62 @@
+"""Training-free hashing embeddings.
+
+Maps tokens to dense vectors by hashing character n-grams into a fixed number
+of buckets.  Used as a fallback when no corpus is available for training
+embeddings, and as the token representation of the attention column model
+(the "featurisation-free" BERT substitute of Section 6).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["HashingEmbedder"]
+
+
+class HashingEmbedder:
+    """Deterministic token embeddings from hashed character n-grams."""
+
+    def __init__(self, dim: int = 32, n_grams: tuple[int, ...] = (2, 3), seed: int = 7) -> None:
+        if dim < 1:
+            raise ValueError("dim must be positive")
+        self.dim = dim
+        self.n_grams = n_grams
+        self.seed = seed
+        rng = np.random.default_rng(seed)
+        # A fixed random codebook: each hash bucket owns one random direction.
+        self._n_buckets = 4096
+        self._codebook = rng.normal(scale=1.0, size=(self._n_buckets, dim))
+
+    def _bucket(self, piece: str) -> int:
+        digest = hashlib.blake2b(piece.encode("utf-8"), digest_size=8).digest()
+        return int.from_bytes(digest, "little") % self._n_buckets
+
+    def vector(self, token: str) -> np.ndarray:
+        """Embed one token."""
+        if not token:
+            return np.zeros(self.dim, dtype=np.float64)
+        padded = f"#{token}#"
+        pieces = [token]
+        for n in self.n_grams:
+            pieces.extend(padded[i: i + n] for i in range(len(padded) - n + 1))
+        accumulator = np.zeros(self.dim, dtype=np.float64)
+        for piece in pieces:
+            accumulator += self._codebook[self._bucket(piece)]
+        return accumulator / max(1, len(pieces))
+
+    def mean_vector(self, tokens: Sequence[str]) -> np.ndarray:
+        """Mean embedding of a token sequence."""
+        if not tokens:
+            return np.zeros(self.dim, dtype=np.float64)
+        return np.mean([self.vector(t) for t in tokens], axis=0)
+
+    def embed_sequence(self, tokens: Sequence[str], max_len: int | None = None) -> np.ndarray:
+        """Embed a token sequence as a (len, dim) matrix, optionally truncated."""
+        if max_len is not None:
+            tokens = list(tokens)[:max_len]
+        if not tokens:
+            return np.zeros((0, self.dim), dtype=np.float64)
+        return np.stack([self.vector(t) for t in tokens])

@@ -1,0 +1,81 @@
+"""Paragraph (column-level) embeddings.
+
+Sherlock's Para features come from a gensim Doc2Vec model over whole-column
+text.  The offline substitute represents a column as the idf-weighted mean of
+its token word vectors — the standard strong baseline for paragraph vectors —
+optionally followed by a random projection to decouple the paragraph
+dimensionality from the word dimensionality.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.embeddings.word2vec import WordEmbeddingModel
+
+__all__ = ["ParagraphEmbedder"]
+
+
+class ParagraphEmbedder:
+    """Column/document embedding built on a word embedding model."""
+
+    def __init__(
+        self,
+        word_model: WordEmbeddingModel,
+        dim: int | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.word_model = word_model
+        self.dim = dim or word_model.dim
+        self.seed = seed
+        self._idf: dict[str, float] = {}
+        self._projection: np.ndarray | None = None
+        self._fitted = False
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return self._fitted
+
+    def fit(self, documents: Iterable[Sequence[str]]) -> "ParagraphEmbedder":
+        """Estimate idf weights (and the projection) from tokenised documents."""
+        documents = [list(doc) for doc in documents]
+        n_docs = max(1, len(documents))
+        document_frequency: dict[str, int] = {}
+        for document in documents:
+            for token in set(document):
+                document_frequency[token] = document_frequency.get(token, 0) + 1
+        self._idf = {
+            token: math.log((1 + n_docs) / (1 + freq)) + 1.0
+            for token, freq in document_frequency.items()
+        }
+        if self.dim != self.word_model.dim:
+            rng = np.random.default_rng(self.seed)
+            self._projection = rng.normal(
+                scale=1.0 / math.sqrt(self.word_model.dim),
+                size=(self.word_model.dim, self.dim),
+            )
+        self._fitted = True
+        return self
+
+    def embed(self, tokens: Sequence[str]) -> np.ndarray:
+        """Embed one tokenised column/document."""
+        if not self._fitted:
+            raise RuntimeError("paragraph embedder is not fitted")
+        if not self.word_model.is_fitted:
+            raise RuntimeError("underlying word model is not fitted")
+        accumulator = np.zeros(self.word_model.dim, dtype=np.float64)
+        total_weight = 0.0
+        for token in tokens:
+            weight = self._idf.get(token, 1.0)
+            vector = self.word_model.vector(token)
+            accumulator += weight * vector
+            total_weight += weight
+        if total_weight > 0:
+            accumulator /= total_weight
+        if self._projection is not None:
+            accumulator = accumulator @ self._projection
+        return accumulator.astype(np.float64)

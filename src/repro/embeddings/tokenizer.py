@@ -1,0 +1,54 @@
+"""Tokenisation of table cell values.
+
+Cell values are short, noisy strings mixing words, numbers and punctuation.
+The tokeniser lower-cases, splits on non-alphanumeric boundaries and maps
+digit runs to a small set of shape tokens (``<num1>`` .. ``<num4+>``) so that
+numeric columns still produce informative, shareable tokens.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+__all__ = ["tokenize", "tokenize_values", "number_shape_token"]
+
+_TOKEN_RE = re.compile(r"[a-z]+|[0-9]+")
+
+
+def number_shape_token(digits: str) -> str:
+    """Map a digit run to a length-bucketed shape token."""
+    length = len(digits)
+    if length <= 1:
+        return "<num1>"
+    if length == 2:
+        return "<num2>"
+    if length <= 4:
+        return "<num4>"
+    return "<numlong>"
+
+
+def tokenize(text: str) -> list[str]:
+    """Tokenise one cell value.
+
+    >>> tokenize("New York, NY 10027")
+    ['new', 'york', 'ny', '<numlong>']
+    """
+    if not text:
+        return []
+    tokens: list[str] = []
+    for match in _TOKEN_RE.finditer(str(text).lower()):
+        piece = match.group(0)
+        if piece.isdigit():
+            tokens.append(number_shape_token(piece))
+        else:
+            tokens.append(piece)
+    return tokens
+
+
+def tokenize_values(values: Iterable[str]) -> list[str]:
+    """Tokenise a sequence of cell values into one flat token list."""
+    tokens: list[str] = []
+    for value in values:
+        tokens.extend(tokenize(value))
+    return tokens

@@ -1,0 +1,94 @@
+"""Token vocabulary with frequency-based pruning."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Iterator
+
+__all__ = ["Vocabulary"]
+
+
+class Vocabulary:
+    """A token -> id mapping built from token streams.
+
+    Tokens below ``min_count`` or beyond ``max_size`` (by frequency) are
+    dropped; unknown tokens map to ``None`` from :meth:`get` and are skipped
+    by :meth:`encode`.
+    """
+
+    def __init__(self, min_count: int = 1, max_size: int | None = None) -> None:
+        if min_count < 1:
+            raise ValueError("min_count must be >= 1")
+        self.min_count = min_count
+        self.max_size = max_size
+        self._token_to_id: dict[str, int] = {}
+        self._id_to_token: list[str] = []
+        self._counts: Counter = Counter()
+        self._finalized = False
+
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._id_to_token)
+
+    @property
+    def counts(self) -> Counter:
+        """Raw token counts observed during :meth:`add`."""
+        return self._counts
+
+    def add(self, tokens: Iterable[str]) -> None:
+        """Accumulate token counts; call :meth:`finalize` when done."""
+        if self._finalized:
+            raise RuntimeError("vocabulary is already finalized")
+        self._counts.update(tokens)
+
+    def finalize(self) -> "Vocabulary":
+        """Freeze the vocabulary, applying min_count / max_size pruning."""
+        if self._finalized:
+            return self
+        items = [
+            (token, count)
+            for token, count in self._counts.items()
+            if count >= self.min_count
+        ]
+        items.sort(key=lambda kv: (-kv[1], kv[0]))
+        if self.max_size is not None:
+            items = items[: self.max_size]
+        self._id_to_token = [token for token, _ in items]
+        self._token_to_id = {token: i for i, token in enumerate(self._id_to_token)}
+        self._finalized = True
+        return self
+
+    @classmethod
+    def from_documents(
+        cls,
+        documents: Iterable[Iterable[str]],
+        min_count: int = 1,
+        max_size: int | None = None,
+    ) -> "Vocabulary":
+        """Build and finalise a vocabulary from tokenised documents."""
+        vocabulary = cls(min_count=min_count, max_size=max_size)
+        for document in documents:
+            vocabulary.add(document)
+        return vocabulary.finalize()
+
+    def get(self, token: str) -> int | None:
+        """Return the id of a token, or None when out of vocabulary."""
+        return self._token_to_id.get(token)
+
+    def token(self, index: int) -> str:
+        """Return the token with a given id."""
+        return self._id_to_token[index]
+
+    def encode(self, tokens: Iterable[str]) -> list[int]:
+        """Map tokens to ids, silently dropping out-of-vocabulary tokens."""
+        ids = []
+        for token in tokens:
+            token_id = self._token_to_id.get(token)
+            if token_id is not None:
+                ids.append(token_id)
+        return ids

@@ -1,0 +1,48 @@
+"""Evaluation harness: metrics, cross-validation, analyses.
+
+Everything needed to regenerate the paper's tables and figures: per-type
+precision/recall/F1 with macro and support-weighted averages (Section 4.4),
+k-fold evaluation of model variants (Table 1), per-type comparisons
+(Figures 7-8), permutation feature importance (Figure 9), timing (Table 2),
+column-embedding projection (Figure 10) and qualitative correction mining
+(Table 4).
+"""
+
+from repro.evaluation.metrics import (
+    ClassificationReport,
+    TypeMetrics,
+    classification_report,
+    f1_scores,
+    macro_f1,
+    support_weighted_f1,
+)
+from repro.evaluation.cross_validation import CrossValidationResult, FoldResult, evaluate_model_cv
+from repro.evaluation.per_type import per_type_f1, per_type_comparison
+from repro.evaluation.importance import permutation_importance
+from repro.evaluation.timing import TimingResult, time_model
+from repro.evaluation.tsne import pca_project, tsne_project
+from repro.evaluation.embeddings import collect_column_embeddings, cluster_separation
+from repro.evaluation.qualitative import CorrectionExample, find_corrections
+
+__all__ = [
+    "ClassificationReport",
+    "TypeMetrics",
+    "classification_report",
+    "f1_scores",
+    "macro_f1",
+    "support_weighted_f1",
+    "CrossValidationResult",
+    "FoldResult",
+    "evaluate_model_cv",
+    "per_type_f1",
+    "per_type_comparison",
+    "permutation_importance",
+    "TimingResult",
+    "time_model",
+    "pca_project",
+    "tsne_project",
+    "collect_column_embeddings",
+    "cluster_separation",
+    "CorrectionExample",
+    "find_corrections",
+]

@@ -1,0 +1,114 @@
+"""K-fold cross-validated evaluation of column models (Table 1 protocol)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.corpus.splits import kfold_split
+from repro.evaluation.metrics import ClassificationReport, classification_report
+from repro.models.base import ColumnModel
+from repro.tables import Table
+
+__all__ = ["FoldResult", "CrossValidationResult", "evaluate_model_cv", "collect_predictions"]
+
+
+@dataclass
+class FoldResult:
+    """Evaluation of one fold: the report plus raw label/prediction pairs."""
+
+    fold: int
+    report: ClassificationReport
+    y_true: list[str]
+    y_pred: list[str]
+
+
+@dataclass
+class CrossValidationResult:
+    """Aggregated k-fold evaluation of one model."""
+
+    model_name: str
+    folds: list[FoldResult] = field(default_factory=list)
+
+    @property
+    def macro_f1_scores(self) -> list[float]:
+        """Macro-average F1 of every fold."""
+        return [fold.report.macro_f1 for fold in self.folds]
+
+    @property
+    def weighted_f1_scores(self) -> list[float]:
+        """Support-weighted F1 of every fold."""
+        return [fold.report.weighted_f1 for fold in self.folds]
+
+    @property
+    def macro_f1(self) -> float:
+        """Mean macro-average F1 across folds."""
+        return float(np.mean(self.macro_f1_scores)) if self.folds else 0.0
+
+    @property
+    def weighted_f1(self) -> float:
+        """Mean support-weighted F1 across folds."""
+        return float(np.mean(self.weighted_f1_scores)) if self.folds else 0.0
+
+    def confidence_interval(self, which: str = "macro") -> float:
+        """Half-width of the 95% confidence interval across folds."""
+        scores = self.macro_f1_scores if which == "macro" else self.weighted_f1_scores
+        if len(scores) < 2:
+            return 0.0
+        return 1.96 * float(np.std(scores, ddof=1)) / math.sqrt(len(scores))
+
+    def pooled_true_pred(self) -> tuple[list[str], list[str]]:
+        """All (true, predicted) labels pooled over folds (per-type analyses)."""
+        y_true: list[str] = []
+        y_pred: list[str] = []
+        for fold in self.folds:
+            y_true.extend(fold.y_true)
+            y_pred.extend(fold.y_pred)
+        return y_true, y_pred
+
+
+def collect_predictions(
+    model: ColumnModel, tables: Sequence[Table]
+) -> tuple[list[str], list[str]]:
+    """Run a fitted model over tables and align predictions with labels.
+
+    Only columns carrying a ground-truth label contribute to the output.
+    """
+    y_true: list[str] = []
+    y_pred: list[str] = []
+    for table in tables:
+        predictions = model.predict_table(table)
+        for column, prediction in zip(table.columns, predictions):
+            if column.semantic_type is not None:
+                y_true.append(column.semantic_type)
+                y_pred.append(prediction)
+    return y_true, y_pred
+
+
+def evaluate_model_cv(
+    model_factory: Callable[[], ColumnModel],
+    tables: Sequence[Table],
+    k: int = 5,
+    seed: int = 0,
+    model_name: str | None = None,
+) -> CrossValidationResult:
+    """Evaluate a model with table-level k-fold cross-validation.
+
+    ``model_factory`` must return a *fresh, unfitted* model; a new instance
+    is trained for every fold so no state leaks across folds.
+    """
+    splits = kfold_split(list(tables), k=k, seed=seed)
+    first_model = model_factory()
+    result = CrossValidationResult(model_name=model_name or first_model.name)
+    for split in splits:
+        model = model_factory() if split.fold > 0 else first_model
+        model.fit(split.train)
+        y_true, y_pred = collect_predictions(model, split.test)
+        report = classification_report(y_true, y_pred)
+        result.folds.append(
+            FoldResult(fold=split.fold, report=report, y_true=y_true, y_pred=y_pred)
+        )
+    return result

@@ -1,0 +1,140 @@
+"""Classification metrics (Section 4.4 of the paper).
+
+Per-type F1 is ``2 * precision * recall / (precision + recall)``; the paper
+reports the *support-weighted* average (per-type F1 weighted by test-set
+support) and the *macro* average (unweighted mean over types), the latter
+being more sensitive to rare types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = [
+    "TypeMetrics",
+    "ClassificationReport",
+    "classification_report",
+    "f1_scores",
+    "macro_f1",
+    "support_weighted_f1",
+]
+
+
+@dataclass(frozen=True)
+class TypeMetrics:
+    """Precision, recall, F1 and support of one semantic type."""
+
+    semantic_type: str
+    precision: float
+    recall: float
+    f1: float
+    support: int
+
+
+@dataclass
+class ClassificationReport:
+    """Full per-type metrics plus the two paper-level averages."""
+
+    per_type: dict[str, TypeMetrics]
+    macro_f1: float
+    weighted_f1: float
+    accuracy: float
+    n_samples: int
+
+    def f1(self, semantic_type: str) -> float:
+        """Per-type F1, or 0.0 for unseen types."""
+        metrics = self.per_type.get(semantic_type)
+        return metrics.f1 if metrics is not None else 0.0
+
+
+def _validate(y_true: Sequence[str], y_pred: Sequence[str]) -> None:
+    if len(y_true) != len(y_pred):
+        raise ValueError(
+            f"length mismatch: {len(y_true)} true labels vs {len(y_pred)} predictions"
+        )
+
+
+def classification_report(
+    y_true: Sequence[str],
+    y_pred: Sequence[str],
+    types: Sequence[str] | None = None,
+) -> ClassificationReport:
+    """Compute per-type and averaged metrics.
+
+    Parameters
+    ----------
+    y_true, y_pred:
+        Ground-truth and predicted semantic type labels, aligned.
+    types:
+        Types to report on.  Defaults to the types present in ``y_true``
+        (types never seen in the test set carry no support and are excluded
+        from both averages, matching the paper's convention).
+    """
+    _validate(y_true, y_pred)
+    if types is None:
+        types = sorted(set(y_true))
+    per_type: dict[str, TypeMetrics] = {}
+    correct_total = sum(1 for t, p in zip(y_true, y_pred) if t == p)
+    for semantic_type in types:
+        true_positive = sum(
+            1 for t, p in zip(y_true, y_pred) if t == semantic_type and p == semantic_type
+        )
+        false_positive = sum(
+            1 for t, p in zip(y_true, y_pred) if t != semantic_type and p == semantic_type
+        )
+        false_negative = sum(
+            1 for t, p in zip(y_true, y_pred) if t == semantic_type and p != semantic_type
+        )
+        support = true_positive + false_negative
+        precision = (
+            true_positive / (true_positive + false_positive)
+            if (true_positive + false_positive) > 0
+            else 0.0
+        )
+        recall = true_positive / support if support > 0 else 0.0
+        f1 = (
+            2 * precision * recall / (precision + recall)
+            if (precision + recall) > 0
+            else 0.0
+        )
+        per_type[semantic_type] = TypeMetrics(
+            semantic_type=semantic_type,
+            precision=precision,
+            recall=recall,
+            f1=f1,
+            support=support,
+        )
+    supported = [m for m in per_type.values() if m.support > 0]
+    macro = sum(m.f1 for m in supported) / len(supported) if supported else 0.0
+    total_support = sum(m.support for m in supported)
+    weighted = (
+        sum(m.f1 * m.support for m in supported) / total_support
+        if total_support > 0
+        else 0.0
+    )
+    n_samples = len(y_true)
+    accuracy = correct_total / n_samples if n_samples else 0.0
+    return ClassificationReport(
+        per_type=per_type,
+        macro_f1=macro,
+        weighted_f1=weighted,
+        accuracy=accuracy,
+        n_samples=n_samples,
+    )
+
+
+def f1_scores(y_true: Sequence[str], y_pred: Sequence[str]) -> dict[str, float]:
+    """Per-type F1 scores as a plain dictionary."""
+    report = classification_report(y_true, y_pred)
+    return {name: metrics.f1 for name, metrics in report.per_type.items()}
+
+
+def macro_f1(y_true: Sequence[str], y_pred: Sequence[str]) -> float:
+    """Macro-average F1 over the types present in ``y_true``."""
+    return classification_report(y_true, y_pred).macro_f1
+
+
+def support_weighted_f1(y_true: Sequence[str], y_pred: Sequence[str]) -> float:
+    """Support-weighted average F1 over the types present in ``y_true``."""
+    return classification_report(y_true, y_pred).weighted_f1

@@ -1,0 +1,67 @@
+"""Per-type F1 comparison between two models (Figures 7 and 8)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.evaluation.metrics import f1_scores
+
+__all__ = ["PerTypeComparison", "per_type_f1", "per_type_comparison"]
+
+
+@dataclass
+class PerTypeComparison:
+    """F1 of two models on every semantic type present in the test data."""
+
+    model_a: str
+    model_b: str
+    f1_a: dict[str, float]
+    f1_b: dict[str, float]
+
+    @property
+    def types(self) -> list[str]:
+        """All compared types, sorted by model A's F1 (descending)."""
+        all_types = set(self.f1_a) | set(self.f1_b)
+        return sorted(all_types, key=lambda t: -self.f1_a.get(t, 0.0))
+
+    def delta(self, semantic_type: str) -> float:
+        """F1(model A) - F1(model B) for one type."""
+        return self.f1_a.get(semantic_type, 0.0) - self.f1_b.get(semantic_type, 0.0)
+
+    @property
+    def improved_types(self) -> list[str]:
+        """Types where model A beats model B."""
+        return [t for t in self.types if self.delta(t) > 1e-9]
+
+    @property
+    def degraded_types(self) -> list[str]:
+        """Types where model A does worse than model B."""
+        return [t for t in self.types if self.delta(t) < -1e-9]
+
+    @property
+    def unchanged_types(self) -> list[str]:
+        """Types with identical F1 for the two models."""
+        return [t for t in self.types if abs(self.delta(t)) <= 1e-9]
+
+
+def per_type_f1(y_true: Sequence[str], y_pred: Sequence[str]) -> dict[str, float]:
+    """Per-type F1 of one prediction set."""
+    return f1_scores(y_true, y_pred)
+
+
+def per_type_comparison(
+    y_true_a: Sequence[str],
+    y_pred_a: Sequence[str],
+    y_true_b: Sequence[str],
+    y_pred_b: Sequence[str],
+    name_a: str = "A",
+    name_b: str = "B",
+) -> PerTypeComparison:
+    """Compare two models' per-type F1 (the data behind Figures 7-8)."""
+    return PerTypeComparison(
+        model_a=name_a,
+        model_b=name_b,
+        f1_a=per_type_f1(y_true_a, y_pred_a),
+        f1_b=per_type_f1(y_true_b, y_pred_b),
+    )

@@ -1,0 +1,89 @@
+"""Qualitative analysis: tables the CRF corrects (Table 4).
+
+Finds test tables where the column-wise model mispredicts at least one
+column and the structured model (same unaries + CRF) fixes at least one of
+those mispredictions — the "salvaged" predictions discussed in Section 5.7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.models.base import ColumnModel
+from repro.tables import Table
+
+__all__ = ["CorrectionExample", "find_corrections"]
+
+
+@dataclass
+class CorrectionExample:
+    """One table where structured prediction corrected column-wise errors."""
+
+    table_id: str | None
+    true_types: list[str]
+    before: list[str]
+    after: list[str]
+
+    @property
+    def n_corrected(self) -> int:
+        """Columns wrong before and right after structured prediction."""
+        return sum(
+            1
+            for truth, b, a in zip(self.true_types, self.before, self.after)
+            if b != truth and a == truth
+        )
+
+    @property
+    def n_broken(self) -> int:
+        """Columns right before and wrong after structured prediction."""
+        return sum(
+            1
+            for truth, b, a in zip(self.true_types, self.before, self.after)
+            if b == truth and a != truth
+        )
+
+
+def find_corrections(
+    column_wise_model: ColumnModel,
+    structured_model: ColumnModel,
+    tables: Sequence[Table],
+    max_examples: int | None = 10,
+    require_net_gain: bool = True,
+) -> list[CorrectionExample]:
+    """Mine tables where the structured model corrects the column-wise model.
+
+    Parameters
+    ----------
+    column_wise_model:
+        The model *without* structured prediction (Base or SatoNoStruct).
+    structured_model:
+        The model *with* structured prediction (SatoNoTopic or Sato).
+    tables:
+        Labelled evaluation tables (multi-column ones are the interesting case).
+    max_examples:
+        Stop after this many examples (None keeps all).
+    require_net_gain:
+        Only keep tables where more columns are corrected than broken.
+    """
+    examples: list[CorrectionExample] = []
+    for table in tables:
+        if table.n_columns < 2 or not table.is_fully_labeled:
+            continue
+        truth = [c.semantic_type for c in table.columns]
+        before = column_wise_model.predict_table(table)
+        after = structured_model.predict_table(table)
+        example = CorrectionExample(
+            table_id=table.table_id,
+            true_types=[t for t in truth if t is not None],
+            before=before,
+            after=after,
+        )
+        if example.n_corrected == 0:
+            continue
+        if require_net_gain and example.n_corrected <= example.n_broken:
+            continue
+        examples.append(example)
+        if max_examples is not None and len(examples) >= max_examples:
+            break
+    return examples

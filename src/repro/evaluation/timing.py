@@ -1,0 +1,93 @@
+"""Training / prediction timing (Table 2)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.models.base import ColumnModel
+from repro.models.sato import SatoModel
+from repro.tables import Table
+
+__all__ = ["TimingResult", "time_model"]
+
+
+@dataclass
+class TimingResult:
+    """Timing of one model over repeated trials (seconds)."""
+
+    model_name: str
+    train_times: list[float]
+    crf_train_times: list[float]
+    predict_times: list[float]
+
+    def _summary(self, values: list[float]) -> tuple[float, float]:
+        if not values:
+            return 0.0, 0.0
+        mean = float(np.mean(values))
+        if len(values) < 2:
+            return mean, 0.0
+        half_width = 1.96 * float(np.std(values, ddof=1)) / np.sqrt(len(values))
+        return mean, half_width
+
+    @property
+    def train_time(self) -> tuple[float, float]:
+        """(mean, 95% CI half-width) of feature/network training time."""
+        return self._summary(self.train_times)
+
+    @property
+    def crf_train_time(self) -> tuple[float, float]:
+        """(mean, 95% CI half-width) of CRF training time."""
+        return self._summary(self.crf_train_times)
+
+    @property
+    def predict_time(self) -> tuple[float, float]:
+        """(mean, 95% CI half-width) of prediction time over the test set."""
+        return self._summary(self.predict_times)
+
+
+def time_model(
+    model_factory: Callable[[], ColumnModel],
+    train_tables: Sequence[Table],
+    test_tables: Sequence[Table],
+    n_trials: int = 3,
+    model_name: str | None = None,
+) -> TimingResult:
+    """Measure training and prediction time of a model over several trials.
+
+    For :class:`SatoModel` instances with the CRF enabled, the CRF training
+    time is measured separately (as in Table 2 of the paper) by timing the
+    column-model fit and the CRF fit independently.
+    """
+    train_times: list[float] = []
+    crf_times: list[float] = []
+    predict_times: list[float] = []
+    name = model_name
+    for _ in range(n_trials):
+        model = model_factory()
+        if name is None:
+            name = model.name
+        if isinstance(model, SatoModel) and model.config.use_struct:
+            start = time.perf_counter()
+            model.column_model.fit(list(train_tables))
+            train_times.append(time.perf_counter() - start)
+            start = time.perf_counter()
+            model._fit_crf(list(train_tables))
+            crf_times.append(time.perf_counter() - start)
+        else:
+            start = time.perf_counter()
+            model.fit(list(train_tables))
+            train_times.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        for table in test_tables:
+            model.predict_table(table)
+        predict_times.append(time.perf_counter() - start)
+    return TimingResult(
+        model_name=name or "model",
+        train_times=train_times,
+        crf_train_times=crf_times,
+        predict_times=predict_times,
+    )

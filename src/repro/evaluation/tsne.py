@@ -1,0 +1,115 @@
+"""Dimensionality reduction for the column-embedding analysis (Figure 10).
+
+Implements PCA (used for initialisation and as a cheap fallback) and a small
+but complete Barnes-Hut-free t-SNE: exact pairwise affinities with per-point
+perplexity calibration, symmetrised P, and gradient descent with momentum
+and early exaggeration on the Kullback-Leibler divergence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["pca_project", "tsne_project"]
+
+
+def pca_project(data: np.ndarray, n_components: int = 2) -> np.ndarray:
+    """Project data onto its first principal components."""
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 2:
+        raise ValueError("data must be 2-D")
+    centered = data - data.mean(axis=0)
+    if centered.shape[0] < 2:
+        return np.zeros((centered.shape[0], n_components))
+    _, _, vt = np.linalg.svd(centered, full_matrices=False)
+    components = vt[:n_components]
+    projected = centered @ components.T
+    if projected.shape[1] < n_components:
+        pad = np.zeros((projected.shape[0], n_components - projected.shape[1]))
+        projected = np.hstack([projected, pad])
+    return projected
+
+
+def _conditional_probabilities(distances: np.ndarray, perplexity: float) -> np.ndarray:
+    """Per-row conditional probabilities with binary-searched bandwidths."""
+    n = distances.shape[0]
+    target_entropy = np.log(perplexity)
+    probabilities = np.zeros((n, n), dtype=np.float64)
+    for i in range(n):
+        beta_low, beta_high = 1e-20, 1e20
+        beta = 1.0
+        row = distances[i].copy()
+        row[i] = np.inf
+        for _ in range(50):
+            weights = np.exp(-row * beta)
+            weights[i] = 0.0
+            total = weights.sum()
+            if total <= 0:
+                beta /= 2.0
+                continue
+            p = weights / total
+            entropy = -np.sum(p[p > 0] * np.log(p[p > 0]))
+            if abs(entropy - target_entropy) < 1e-4:
+                break
+            if entropy > target_entropy:
+                beta_low = beta
+                beta = beta * 2 if beta_high >= 1e19 else (beta + beta_high) / 2
+            else:
+                beta_high = beta
+                beta = beta / 2 if beta_low <= 1e-19 else (beta + beta_low) / 2
+        weights = np.exp(-row * beta)
+        weights[i] = 0.0
+        total = weights.sum()
+        probabilities[i] = weights / total if total > 0 else 0.0
+    return probabilities
+
+
+def tsne_project(
+    data: np.ndarray,
+    n_components: int = 2,
+    perplexity: float = 20.0,
+    n_iterations: int = 300,
+    learning_rate: float = 100.0,
+    seed: int = 0,
+) -> np.ndarray:
+    """Project data to two dimensions with t-SNE.
+
+    Falls back to PCA for degenerate inputs (fewer than 5 points).
+    """
+    data = np.asarray(data, dtype=np.float64)
+    n = data.shape[0]
+    if n < 5:
+        return pca_project(data, n_components)
+    perplexity = min(perplexity, max(2.0, (n - 1) / 3.0))
+
+    squared_norms = (data ** 2).sum(axis=1)
+    distances = squared_norms[:, None] + squared_norms[None, :] - 2 * data @ data.T
+    np.fill_diagonal(distances, 0.0)
+    distances = np.maximum(distances, 0.0)
+
+    conditional = _conditional_probabilities(distances, perplexity)
+    joint = (conditional + conditional.T) / (2.0 * n)
+    joint = np.maximum(joint, 1e-12)
+
+    rng = np.random.default_rng(seed)
+    embedding = pca_project(data, n_components)
+    scale = embedding.std(axis=0).max()
+    if scale > 0:
+        embedding = embedding / scale * 1e-2
+    embedding += rng.normal(scale=1e-4, size=embedding.shape)
+
+    velocity = np.zeros_like(embedding)
+    exaggeration = 4.0
+    for iteration in range(n_iterations):
+        p = joint * exaggeration if iteration < 50 else joint
+        sq = (embedding ** 2).sum(axis=1)
+        num = 1.0 / (1.0 + sq[:, None] + sq[None, :] - 2 * embedding @ embedding.T)
+        np.fill_diagonal(num, 0.0)
+        q = np.maximum(num / num.sum(), 1e-12)
+        pq = (p - q) * num
+        gradient = 4.0 * (np.diag(pq.sum(axis=1)) - pq) @ embedding
+        momentum = 0.5 if iteration < 100 else 0.8
+        velocity = momentum * velocity - learning_rate * gradient
+        embedding = embedding + velocity
+        embedding = embedding - embedding.mean(axis=0)
+    return embedding

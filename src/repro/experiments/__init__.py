@@ -1,0 +1,43 @@
+"""Declarative experiment harness regenerating the paper's tables and figures.
+
+Each public function corresponds to one experiment (table or figure) of the
+paper's evaluation section; the benchmarks in ``benchmarks/`` are thin
+wrappers that call these functions and print the regenerated rows/series.
+Results are cached per configuration so that several benchmarks can share
+one (expensive) round of model training.
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.pipeline import (
+    MainResults,
+    build_corpus,
+    make_model_factories,
+    run_main_results,
+)
+from repro.experiments.analyses import (
+    run_col2vec,
+    run_efficiency,
+    run_importance,
+    run_learned_repr,
+    run_qualitative,
+    run_topic_analysis,
+)
+from repro.experiments.ablations import run_crf_init_ablation, run_topic_dimension_sweep
+from repro.experiments import reporting
+
+__all__ = [
+    "ExperimentConfig",
+    "MainResults",
+    "build_corpus",
+    "make_model_factories",
+    "run_main_results",
+    "run_efficiency",
+    "run_topic_analysis",
+    "run_qualitative",
+    "run_importance",
+    "run_col2vec",
+    "run_learned_repr",
+    "run_topic_dimension_sweep",
+    "run_crf_init_ablation",
+    "reporting",
+]

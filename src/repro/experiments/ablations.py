@@ -1,0 +1,96 @@
+"""Ablation studies over Sato's design choices.
+
+The paper motivates two design decisions this module sweeps explicitly:
+
+* the dimensionality of the topic vector (Section 3.2 fixes 400 topics);
+* initialising CRF pairwise potentials from the co-occurrence matrix and
+  then training them (Section 4.3), versus starting from zeros or skipping
+  CRF training entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.corpus.splits import train_test_split
+from repro.evaluation.cross_validation import collect_predictions
+from repro.evaluation.metrics import classification_report
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.pipeline import build_corpus, make_model_factories
+
+__all__ = [
+    "AblationPoint",
+    "run_topic_dimension_sweep",
+    "run_crf_init_ablation",
+]
+
+
+@dataclass
+class AblationPoint:
+    """One setting of an ablation sweep and its test scores."""
+
+    setting: str
+    macro_f1: float
+    weighted_f1: float
+
+
+def _score_model(model, test_tables) -> tuple[float, float]:
+    y_true, y_pred = collect_predictions(model, test_tables)
+    report = classification_report(y_true, y_pred)
+    return report.macro_f1, report.weighted_f1
+
+
+def run_topic_dimension_sweep(
+    config: ExperimentConfig,
+    dimensions: tuple[int, ...] = (4, 16, 48),
+) -> list[AblationPoint]:
+    """Sweep the number of LDA topics used by the topic-aware model."""
+    dataset = build_corpus(config)
+    dmult = dataset.multi_column()
+    train, test = train_test_split(dmult.tables, test_fraction=0.2, seed=config.split_seed)
+    points: list[AblationPoint] = []
+    for dim in dimensions:
+        sweep_config = replace(config, n_topics=dim)
+        model = make_model_factories(sweep_config)["SatoNoStruct"]()
+        model.fit(train)
+        macro, weighted = _score_model(model, test)
+        points.append(
+            AblationPoint(setting=f"topics={dim}", macro_f1=macro, weighted_f1=weighted)
+        )
+    return points
+
+
+def run_crf_init_ablation(config: ExperimentConfig) -> list[AblationPoint]:
+    """Compare CRF pairwise initialisation strategies (SatoNoTopic setting)."""
+    dataset = build_corpus(config)
+    dmult = dataset.multi_column()
+    train, test = train_test_split(dmult.tables, test_fraction=0.2, seed=config.split_seed)
+    factories = make_model_factories(config)
+    points: list[AblationPoint] = []
+
+    # (a) co-occurrence initialisation + training (the paper's setting)
+    model = factories["SatoNoTopic"]()
+    model.fit(train)
+    macro, weighted = _score_model(model, test)
+    points.append(AblationPoint("cooccurrence-init + trained", macro, weighted))
+
+    # (b) zero initialisation + training
+    model = factories["SatoNoTopic"]()
+    model.config.crf_cooccurrence_init = False
+    model.fit(train)
+    macro, weighted = _score_model(model, test)
+    points.append(AblationPoint("zero-init + trained", macro, weighted))
+
+    # (c) co-occurrence initialisation, no CRF training
+    model = factories["SatoNoTopic"]()
+    model.config.crf_epochs = 0
+    model.fit(train)
+    macro, weighted = _score_model(model, test)
+    points.append(AblationPoint("cooccurrence-init only", macro, weighted))
+
+    # (d) no CRF at all (equals Base)
+    model = factories["Base"]()
+    model.fit(train)
+    macro, weighted = _score_model(model, test)
+    points.append(AblationPoint("no CRF (Base)", macro, weighted))
+    return points

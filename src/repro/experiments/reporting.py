@@ -1,0 +1,174 @@
+"""Plain-text report formatting for every regenerated table and figure."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.corpus.statistics import top_cooccurring_pairs
+from repro.evaluation import CorrectionExample, TimingResult
+from repro.evaluation.importance import GroupImportance
+from repro.evaluation.per_type import PerTypeComparison
+from repro.experiments.pipeline import MainResults
+from repro.topic.analysis import TopicSummary
+
+__all__ = [
+    "format_table1",
+    "format_table2",
+    "format_table3",
+    "format_table4",
+    "format_figure5",
+    "format_figure6",
+    "format_per_type_figure",
+    "format_figure9",
+    "format_figure10",
+    "format_learned_repr",
+    "format_ablation",
+]
+
+
+def format_table1(results: MainResults) -> str:
+    """Render the Table 1 grid (macro / weighted F1 per variant and dataset)."""
+    lines = [
+        "Table 1: semantic type detection performance",
+        f"{'model':<14}{'dataset':<8}{'macro F1':>12}{'+/-':>8}{'weighted F1':>14}{'+/-':>8}{'rel. macro':>12}",
+    ]
+    for dataset in ("Dmult", "D"):
+        for model in ("Base", "Sato", "SatoNoStruct", "SatoNoTopic"):
+            result = results.result(dataset, model)
+            relative = results.relative_improvement(dataset, model, "macro")
+            lines.append(
+                f"{model:<14}{dataset:<8}"
+                f"{result.macro_f1:>12.3f}{result.confidence_interval('macro'):>8.3f}"
+                f"{result.weighted_f1:>14.3f}{result.confidence_interval('weighted'):>8.3f}"
+                f"{relative:>11.1f}%"
+            )
+    return "\n".join(lines)
+
+
+def format_table2(timings: Mapping[str, TimingResult]) -> str:
+    """Render Table 2 (training / CRF / prediction time)."""
+    lines = [
+        "Table 2: average training and prediction time (seconds)",
+        f"{'model':<10}{'features train':>16}{'crf train':>12}{'predict':>10}",
+    ]
+    for name, timing in timings.items():
+        train_mean, _ = timing.train_time
+        crf_mean, _ = timing.crf_train_time
+        predict_mean, _ = timing.predict_time
+        lines.append(
+            f"{name:<10}{train_mean:>16.2f}{crf_mean:>12.2f}{predict_mean:>10.2f}"
+        )
+    return "\n".join(lines)
+
+
+def format_table3(summaries: Sequence[TopicSummary]) -> str:
+    """Render Table 3 (salient topics and their representative types)."""
+    lines = ["Table 3: salient LDA topics"]
+    for summary in summaries:
+        types = ", ".join(summary.top_types)
+        lines.append(f"topic #{summary.topic:<4} saliency={summary.saliency:.3f}  {types}")
+    return "\n".join(lines)
+
+
+def format_table4(examples: Mapping[str, Sequence[CorrectionExample]]) -> str:
+    """Render Table 4 (mispredictions corrected by structured prediction)."""
+    lines = ["Table 4: corrections from structured prediction"]
+    titles = {
+        "base_to_notopic": "(a) corrected from Base predictions",
+        "nostruct_to_sato": "(b) corrected from SatoNoStruct predictions",
+    }
+    for key, title in titles.items():
+        lines.append(title)
+        for example in examples.get(key, []):
+            lines.append(
+                f"  table={example.table_id}  true={example.true_types}  "
+                f"before={example.before}  after={example.after}"
+            )
+    return "\n".join(lines)
+
+
+def format_figure5(counts: Mapping[str, int], top: int = 20) -> str:
+    """Render Figure 5 (long-tailed type counts) as a text histogram."""
+    ordered = sorted(counts.items(), key=lambda kv: -kv[1])
+    peak = max((count for _, count in ordered), default=1)
+    lines = ["Figure 5: semantic type counts (head and tail)"]
+    shown = ordered[:top] + [("...", 0)] + ordered[-5:] if len(ordered) > top else ordered
+    for name, count in shown:
+        bar = "#" * max(0, int(40 * count / peak))
+        lines.append(f"{name:<16}{count:>8} {bar}")
+    return "\n".join(lines)
+
+
+def format_figure6(matrix, k: int = 10) -> str:
+    """Render Figure 6 (co-occurrence) as its top-k pairs."""
+    lines = ["Figure 6: most frequent co-occurring type pairs"]
+    for a, b, count in top_cooccurring_pairs(matrix, k=k):
+        lines.append(f"({a}, {b}): {count:.0f}")
+    return "\n".join(lines)
+
+
+def format_per_type_figure(comparison: PerTypeComparison, title: str, top: int = 15) -> str:
+    """Render a Figure 7/8 panel: per-type F1 with vs without a component."""
+    lines = [
+        title,
+        f"improved types: {len(comparison.improved_types)}  "
+        f"degraded: {len(comparison.degraded_types)}  "
+        f"unchanged: {len(comparison.unchanged_types)}",
+        f"{'type':<16}{comparison.model_a:>14}{comparison.model_b:>14}{'delta':>10}",
+    ]
+    best = sorted(comparison.types, key=lambda t: -abs(comparison.delta(t)))[:top]
+    for semantic_type in best:
+        lines.append(
+            f"{semantic_type:<16}"
+            f"{comparison.f1_a.get(semantic_type, 0.0):>14.3f}"
+            f"{comparison.f1_b.get(semantic_type, 0.0):>14.3f}"
+            f"{comparison.delta(semantic_type):>10.3f}"
+        )
+    return "\n".join(lines)
+
+
+def format_figure9(importances: Mapping[str, Mapping[str, GroupImportance]]) -> str:
+    """Render Figure 9 (permutation importance per model and feature group)."""
+    lines = ["Figure 9: permutation importance (normalised F1 drop, %)"]
+    for model_name, groups in importances.items():
+        lines.append(f"{model_name}:")
+        for group_name, importance in sorted(
+            groups.items(), key=lambda kv: -kv[1].macro_drop
+        ):
+            lines.append(
+                f"  {group_name:<8} macro drop={importance.macro_drop:>7.2f}%"
+                f"  weighted drop={importance.weighted_drop:>7.2f}%"
+            )
+    return "\n".join(lines)
+
+
+def format_figure10(result) -> str:
+    """Render Figure 10 (cluster separation of column embeddings)."""
+    return "\n".join(
+        [
+            "Figure 10: column embedding (Col2Vec) separation",
+            f"SatoNoStruct separation score: {result.separation_sato:.3f} "
+            f"({len(result.labels_sato)} columns)",
+            f"Sherlock/Base separation score: {result.separation_base:.3f} "
+            f"({len(result.labels_base)} columns)",
+        ]
+    )
+
+
+def format_learned_repr(scores: Mapping[str, Mapping[str, float]]) -> str:
+    """Render the Section 6 learned-representation comparison."""
+    lines = [
+        "Section 6: learned representations vs feature engineering",
+        f"{'model':<14}{'macro F1':>12}{'weighted F1':>14}",
+    ]
+    for name, values in scores.items():
+        lines.append(f"{name:<14}{values['macro_f1']:>12.3f}{values['weighted_f1']:>14.3f}")
+    return "\n".join(lines)
+
+
+def format_ablation(points, title: str) -> str:
+    """Render an ablation sweep."""
+    lines = [title, f"{'setting':<32}{'macro F1':>12}{'weighted F1':>14}"]
+    for point in points:
+        lines.append(f"{point.setting:<32}{point.macro_f1:>12.3f}{point.weighted_f1:>14.3f}")
+    return "\n".join(lines)

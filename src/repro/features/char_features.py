@@ -1,0 +1,88 @@
+"""Character-level distribution features (the Char group).
+
+Sherlock computes, for each of 96 ASCII characters, aggregate statistics of
+its per-value counts.  We reproduce the same idea at a slightly smaller
+scale: for each character class member we compute the mean and presence-rate
+of its occurrences across the column's values, plus a handful of shape
+statistics.  The result is a fixed-length vector independent of the number
+of rows.
+"""
+
+from __future__ import annotations
+
+import string
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["CHAR_VOCABULARY", "CHAR_FEATURE_NAMES", "char_features"]
+
+#: Characters tracked individually: lowercase letters, digits and frequent
+#: punctuation found in table cells.
+CHAR_VOCABULARY: str = string.ascii_lowercase + string.digits + " .,-:/()$%#@'&+"
+
+_SHAPE_FEATURES = [
+    "frac_alpha",
+    "frac_digit",
+    "frac_space",
+    "frac_punct",
+    "frac_upper",
+    "mean_length",
+    "std_length",
+]
+
+CHAR_FEATURE_NAMES: list[str] = (
+    [f"char_mean[{c}]" for c in CHAR_VOCABULARY]
+    + [f"char_presence[{c}]" for c in CHAR_VOCABULARY]
+    + [f"shape_{name}" for name in _SHAPE_FEATURES]
+)
+
+_CHAR_INDEX = {c: i for i, c in enumerate(CHAR_VOCABULARY)}
+
+
+def char_features(values: Sequence[str]) -> np.ndarray:
+    """Compute the Char feature vector for a column's values."""
+    n_chars = len(CHAR_VOCABULARY)
+    values = [v for v in values if v]
+    if not values:
+        return np.zeros(len(CHAR_FEATURE_NAMES), dtype=np.float64)
+
+    counts = np.zeros((len(values), n_chars), dtype=np.float64)
+    lengths = np.zeros(len(values), dtype=np.float64)
+    n_alpha = n_digit = n_space = n_punct = n_upper = 0
+    total_chars = 0
+    for row, value in enumerate(values):
+        lengths[row] = len(value)
+        for char in value:
+            total_chars += 1
+            if char.isupper():
+                n_upper += 1
+            lowered = char.lower()
+            if lowered.isalpha():
+                n_alpha += 1
+            elif lowered.isdigit():
+                n_digit += 1
+            elif lowered.isspace():
+                n_space += 1
+            else:
+                n_punct += 1
+            index = _CHAR_INDEX.get(lowered)
+            if index is not None:
+                counts[row, index] += 1.0
+
+    mean_counts = counts.mean(axis=0)
+    presence = (counts > 0).mean(axis=0)
+    total_chars = max(1, total_chars)
+    shape = np.array(
+        [
+            n_alpha / total_chars,
+            n_digit / total_chars,
+            n_space / total_chars,
+            n_punct / total_chars,
+            n_upper / total_chars,
+            float(lengths.mean()),
+            float(lengths.std()),
+        ],
+        dtype=np.float64,
+    )
+    return np.concatenate([mean_counts, presence, shape])

@@ -1,0 +1,223 @@
+"""The combined column featurizer.
+
+Produces one fixed-length feature vector per column, organised into the
+Sherlock feature groups (Char / Word / Para / Stat).  The featurizer is
+*fitted* on training tables (to train the word and paragraph embedding
+substrate and the feature standardiser) and then applied to any column.
+
+The per-group index slices are exposed so that
+
+* the models can route each group through its own subnetwork, and
+* the permutation-importance analysis (Figure 9) can shuffle one group at a
+  time across tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.embeddings import ParagraphEmbedder, WordEmbeddingModel, tokenize_values
+from repro.features.char_features import CHAR_FEATURE_NAMES, char_features
+from repro.features.stats_features import STAT_FEATURE_NAMES, column_statistics
+from repro.tables import Column, Table
+
+__all__ = ["FeatureGroup", "FeatureMatrix", "ColumnFeaturizer"]
+
+
+@dataclass(frozen=True)
+class FeatureGroup:
+    """Name and index range of one feature group inside the full vector."""
+
+    name: str
+    start: int
+    stop: int
+
+    @property
+    def size(self) -> int:
+        """Number of features in the group."""
+        return self.stop - self.start
+
+    @property
+    def slice(self) -> slice:
+        """The slice selecting this group from a feature vector."""
+        return slice(self.start, self.stop)
+
+
+@dataclass
+class FeatureMatrix:
+    """Features for a set of columns, with group metadata and labels."""
+
+    matrix: np.ndarray
+    groups: tuple[FeatureGroup, ...]
+    labels: list[str | None]
+    table_ids: list[str | None]
+    column_positions: list[int]
+
+    def __len__(self) -> int:
+        return self.matrix.shape[0]
+
+    def group(self, name: str) -> FeatureGroup:
+        """Return a group by name."""
+        for group in self.groups:
+            if group.name == name:
+                return group
+        raise KeyError(f"unknown feature group {name!r}")
+
+
+class ColumnFeaturizer:
+    """Extracts Char / Word / Para / Stat features for table columns.
+
+    Parameters
+    ----------
+    word_dim:
+        Dimensionality of the Word embedding features.
+    para_dim:
+        Dimensionality of the Para(graph) embedding features.
+    max_tokens_per_column:
+        Token budget per column when computing embedding features (keeps the
+        cost of very long columns bounded).
+    standardize:
+        Whether to z-score features using statistics from :meth:`fit`.
+    """
+
+    def __init__(
+        self,
+        word_dim: int = 48,
+        para_dim: int = 32,
+        max_tokens_per_column: int = 256,
+        standardize: bool = True,
+        min_token_count: int = 2,
+        seed: int = 0,
+    ) -> None:
+        self.word_dim = word_dim
+        self.para_dim = para_dim
+        self.max_tokens_per_column = max_tokens_per_column
+        self.standardize = standardize
+        self.seed = seed
+        self.word_model = WordEmbeddingModel(
+            dim=word_dim, min_count=min_token_count, seed=seed
+        )
+        self.paragraph_embedder = ParagraphEmbedder(
+            self.word_model, dim=para_dim, seed=seed
+        )
+        self._mean: np.ndarray | None = None
+        self._std: np.ndarray | None = None
+        self._groups: tuple[FeatureGroup, ...] | None = None
+        self._fitted = False
+
+    # ------------------------------------------------------------------ fit
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has completed."""
+        return self._fitted
+
+    @property
+    def groups(self) -> tuple[FeatureGroup, ...]:
+        """Per-group slices of the full feature vector."""
+        if self._groups is None:
+            char_size = len(CHAR_FEATURE_NAMES)
+            stat_size = len(STAT_FEATURE_NAMES)
+            boundaries = [
+                ("char", char_size),
+                ("word", self.word_dim),
+                ("para", self.para_dim),
+                ("stat", stat_size),
+            ]
+            groups = []
+            start = 0
+            for name, size in boundaries:
+                groups.append(FeatureGroup(name=name, start=start, stop=start + size))
+                start += size
+            self._groups = tuple(groups)
+        return self._groups
+
+    @property
+    def n_features(self) -> int:
+        """Total feature dimensionality."""
+        return self.groups[-1].stop
+
+    def fit(self, tables: Iterable[Table]) -> "ColumnFeaturizer":
+        """Fit the embedding substrate and the standardiser on training tables."""
+        tables = list(tables)
+        documents = [
+            tokenize_values(column.values)[: self.max_tokens_per_column]
+            for table in tables
+            for column in table.columns
+        ]
+        self.word_model.fit(documents)
+        self.paragraph_embedder.fit(documents)
+        if self.standardize and tables:
+            raw = np.stack(
+                [
+                    self._raw_features(column)
+                    for table in tables
+                    for column in table.columns
+                ]
+            )
+            self._mean = raw.mean(axis=0)
+            self._std = raw.std(axis=0)
+            self._std[self._std < 1e-8] = 1.0
+        self._fitted = True
+        return self
+
+    # ------------------------------------------------------------ transform
+
+    def _raw_features(self, column: Column) -> np.ndarray:
+        tokens = tokenize_values(column.values)[: self.max_tokens_per_column]
+        char_vector = char_features(column.values)
+        word_vector = self.word_model.mean_vector(tokens)
+        para_vector = self.paragraph_embedder.embed(tokens)
+        stat_vector = column_statistics(column.values)
+        return np.concatenate([char_vector, word_vector, para_vector, stat_vector])
+
+    def transform_column(self, column: Column) -> np.ndarray:
+        """Featurize one column."""
+        if not self._fitted:
+            raise RuntimeError("featurizer must be fitted before transform")
+        features = self._raw_features(column)
+        if self.standardize and self._mean is not None and self._std is not None:
+            features = (features - self._mean) / self._std
+        return features
+
+    def transform_table(self, table: Table) -> np.ndarray:
+        """Featurize all columns of a table, returning an (m, n_features) matrix."""
+        if not table.columns:
+            return np.zeros((0, self.n_features), dtype=np.float64)
+        return np.stack([self.transform_column(column) for column in table.columns])
+
+    def transform_tables(self, tables: Sequence[Table]) -> FeatureMatrix:
+        """Featurize every column of every table into one feature matrix."""
+        rows: list[np.ndarray] = []
+        labels: list[str | None] = []
+        table_ids: list[str | None] = []
+        positions: list[int] = []
+        for table in tables:
+            for position, column in enumerate(table.columns):
+                rows.append(self.transform_column(column))
+                labels.append(column.semantic_type)
+                table_ids.append(table.table_id)
+                positions.append(position)
+        matrix = (
+            np.stack(rows)
+            if rows
+            else np.zeros((0, self.n_features), dtype=np.float64)
+        )
+        return FeatureMatrix(
+            matrix=matrix,
+            groups=self.groups,
+            labels=labels,
+            table_ids=table_ids,
+            column_positions=positions,
+        )
+
+    def feature_names(self) -> list[str]:
+        """Human-readable names of every feature dimension."""
+        names = list(CHAR_FEATURE_NAMES)
+        names.extend(f"word_emb[{i}]" for i in range(self.word_dim))
+        names.extend(f"para_emb[{i}]" for i in range(self.para_dim))
+        names.extend(STAT_FEATURE_NAMES)
+        return names

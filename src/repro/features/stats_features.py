@@ -1,0 +1,150 @@
+"""Global column statistics (the Stat group).
+
+Sherlock's Stat group has 27 hand-crafted global statistics per column
+(entropy, uniqueness, numeric summary statistics, value-length statistics,
+missing-value counts, ...).  This module reproduces a 27-dimensional Stat
+vector with the same flavour of statistics.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["STAT_FEATURE_NAMES", "column_statistics"]
+
+STAT_FEATURE_NAMES: list[str] = [
+    "n_values",
+    "n_missing",
+    "frac_missing",
+    "n_unique",
+    "frac_unique",
+    "entropy",
+    "normalized_entropy",
+    "frac_numeric",
+    "numeric_mean",
+    "numeric_std",
+    "numeric_min",
+    "numeric_max",
+    "numeric_median",
+    "numeric_sum_log",
+    "frac_negative",
+    "frac_integer",
+    "mean_length",
+    "std_length",
+    "min_length",
+    "max_length",
+    "median_length",
+    "mean_word_count",
+    "max_word_count",
+    "frac_contains_digit",
+    "frac_contains_alpha",
+    "frac_all_upper",
+    "mode_frequency",
+]
+
+assert len(STAT_FEATURE_NAMES) == 27
+
+
+def _try_parse_number(value: str) -> float | None:
+    text = value.strip().replace(",", "").replace("$", "").replace("%", "")
+    if not text:
+        return None
+    try:
+        number = float(text)
+    except ValueError:
+        return None
+    # Reject "inf"/"nan" spellings: they parse but are not table numbers and
+    # would poison the downstream statistics.
+    return number if math.isfinite(number) else None
+
+
+def column_statistics(values: Sequence[str]) -> np.ndarray:
+    """Compute the 27-dimensional Stat vector for a column's values."""
+    values = list(values)
+    n_values = len(values)
+    if n_values == 0:
+        return np.zeros(len(STAT_FEATURE_NAMES), dtype=np.float64)
+
+    non_empty = [v for v in values if v and v.strip()]
+    n_missing = n_values - len(non_empty)
+    frac_missing = n_missing / n_values
+
+    counter = Counter(non_empty)
+    n_unique = len(counter)
+    frac_unique = n_unique / max(1, len(non_empty))
+    total = max(1, len(non_empty))
+    entropy = -sum((c / total) * math.log(c / total + 1e-12) for c in counter.values())
+    normalized_entropy = entropy / math.log(n_unique + 1e-12) if n_unique > 1 else 0.0
+    mode_frequency = (counter.most_common(1)[0][1] / total) if counter else 0.0
+
+    numbers = [n for n in (_try_parse_number(v) for v in non_empty) if n is not None]
+    frac_numeric = len(numbers) / max(1, len(non_empty))
+    if numbers:
+        numeric = np.array(numbers, dtype=np.float64)
+        numeric_mean = float(numeric.mean())
+        numeric_std = float(numeric.std())
+        numeric_min = float(numeric.min())
+        numeric_max = float(numeric.max())
+        numeric_median = float(np.median(numeric))
+        numeric_sum_log = math.log1p(abs(float(numeric.sum())))
+        frac_negative = float((numeric < 0).mean())
+        frac_integer = float(np.mean([float(n).is_integer() for n in numbers]))
+    else:
+        numeric_mean = numeric_std = numeric_min = numeric_max = 0.0
+        numeric_median = numeric_sum_log = frac_negative = frac_integer = 0.0
+
+    lengths = np.array([len(v) for v in non_empty], dtype=np.float64)
+    if lengths.size == 0:
+        lengths = np.zeros(1)
+    word_counts = np.array(
+        [len(v.split()) for v in non_empty], dtype=np.float64
+    ) if non_empty else np.zeros(1)
+
+    frac_contains_digit = float(
+        np.mean([any(ch.isdigit() for ch in v) for v in non_empty])
+    ) if non_empty else 0.0
+    frac_contains_alpha = float(
+        np.mean([any(ch.isalpha() for ch in v) for v in non_empty])
+    ) if non_empty else 0.0
+    frac_all_upper = float(
+        np.mean([v.isupper() for v in non_empty])
+    ) if non_empty else 0.0
+
+    features = np.array(
+        [
+            float(n_values),
+            float(n_missing),
+            frac_missing,
+            float(n_unique),
+            frac_unique,
+            entropy,
+            normalized_entropy,
+            frac_numeric,
+            numeric_mean,
+            numeric_std,
+            numeric_min,
+            numeric_max,
+            numeric_median,
+            numeric_sum_log,
+            frac_negative,
+            frac_integer,
+            float(lengths.mean()),
+            float(lengths.std()),
+            float(lengths.min()),
+            float(lengths.max()),
+            float(np.median(lengths)),
+            float(word_counts.mean()),
+            float(word_counts.max()),
+            frac_contains_digit,
+            frac_contains_alpha,
+            frac_all_upper,
+            mode_frequency,
+        ],
+        dtype=np.float64,
+    )
+    # Large magnitudes (sums, maxima) are squashed to keep the network stable.
+    return np.sign(features) * np.log1p(np.abs(features))

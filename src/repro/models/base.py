@@ -1,0 +1,72 @@
+"""Model interfaces and shared training configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.tables import Table
+from repro.types import INDEX_TO_TYPE
+
+__all__ = ["TrainingConfig", "ColumnModel"]
+
+
+@dataclass
+class TrainingConfig:
+    """Hyper-parameters of the column-wise neural network training.
+
+    Defaults follow Section 4.3 of the paper (Adam, learning rate 1e-4,
+    weight decay 1e-4, 100 epochs); tests and fast benchmarks lower
+    ``n_epochs`` and the hidden sizes.
+    """
+
+    n_epochs: int = 100
+    learning_rate: float = 1e-4
+    weight_decay: float = 1e-4
+    batch_size: int = 64
+    subnet_dim: int = 64
+    hidden_dim: int = 128
+    dropout: float = 0.3
+    use_class_weights: bool = True
+    seed: int = 0
+
+
+class ColumnModel:
+    """Interface of every column-wise semantic type predictor.
+
+    A column model is *fitted* on labelled tables and then predicts, for any
+    table, a probability distribution over the 78 semantic types for each of
+    its columns.  Table-level prediction methods receive the whole table so
+    that context-aware models can use it; single-column models simply ignore
+    the other columns.
+    """
+
+    #: Human-readable model name used in reports.
+    name: str = "column-model"
+
+    def fit(self, tables: Sequence[Table]) -> "ColumnModel":
+        """Train the model on labelled tables."""
+        raise NotImplementedError
+
+    def predict_proba_table(self, table: Table) -> np.ndarray:
+        """Per-column class probabilities, shape ``(n_columns, n_types)``."""
+        raise NotImplementedError
+
+    def predict_table(self, table: Table) -> list[str]:
+        """Predicted semantic type label for each column of the table."""
+        probabilities = self.predict_proba_table(table)
+        indices = probabilities.argmax(axis=1)
+        return [INDEX_TO_TYPE[int(i)] for i in indices]
+
+    def predict_tables(self, tables: Sequence[Table]) -> list[list[str]]:
+        """Predict types for a sequence of tables."""
+        return [self.predict_table(t) for t in tables]
+
+    def column_embeddings(self, table: Table) -> np.ndarray:
+        """Final-layer activations per column (used for the Col2Vec analysis).
+
+        Models that do not expose embeddings raise ``NotImplementedError``.
+        """
+        raise NotImplementedError

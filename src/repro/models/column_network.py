@@ -1,0 +1,237 @@
+"""The multi-input feed-forward network shared by Sherlock and Sato.
+
+Architecture (Section 3.1 of the paper):
+
+* every high-dimensional feature group (Char, Word, Para and — for the
+  topic-aware model — Topic) goes through its own compression subnetwork,
+* the 27 Stat features bypass compression,
+* subnetwork outputs are concatenated with Stat and fed to the primary
+  network: two fully connected layers with ReLU, BatchNorm and Dropout,
+  followed by a softmax output layer over the 78 semantic types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn import (
+    Adam,
+    BatchNorm1d,
+    Dropout,
+    Linear,
+    ReLU,
+    Sequential,
+    cross_entropy_loss,
+    softmax,
+)
+from repro.nn.parameter import Parameter
+
+__all__ = ["GroupSpec", "MultiInputClassifier", "NetworkTrainer"]
+
+
+@dataclass(frozen=True)
+class GroupSpec:
+    """One input group: its dimensionality and whether it is compressed."""
+
+    name: str
+    input_dim: int
+    compress: bool = True
+
+
+class MultiInputClassifier:
+    """Multi-input MLP with per-group subnetworks and a primary network."""
+
+    def __init__(
+        self,
+        groups: list[GroupSpec],
+        n_classes: int,
+        subnet_dim: int = 64,
+        hidden_dim: int = 128,
+        dropout: float = 0.3,
+        seed: int = 0,
+    ) -> None:
+        if not groups:
+            raise ValueError("at least one input group is required")
+        self.groups = list(groups)
+        self.n_classes = n_classes
+        self.subnet_dim = subnet_dim
+        self.hidden_dim = hidden_dim
+        rng = np.random.default_rng(seed)
+
+        self.subnetworks: dict[str, Sequential | None] = {}
+        concat_dim = 0
+        for group in self.groups:
+            if group.compress:
+                subnet = Sequential(
+                    Linear(group.input_dim, subnet_dim, rng=rng, name=f"sub_{group.name}_1"),
+                    ReLU(),
+                    Dropout(dropout, rng=rng),
+                    Linear(subnet_dim, subnet_dim, rng=rng, name=f"sub_{group.name}_2"),
+                    ReLU(),
+                )
+                self.subnetworks[group.name] = subnet
+                concat_dim += subnet_dim
+            else:
+                self.subnetworks[group.name] = None
+                concat_dim += group.input_dim
+        self.concat_dim = concat_dim
+
+        self.primary = Sequential(
+            Linear(concat_dim, hidden_dim, rng=rng, name="primary_1"),
+            ReLU(),
+            BatchNorm1d(hidden_dim, name="primary_bn1"),
+            Dropout(dropout, rng=rng),
+            Linear(hidden_dim, hidden_dim, rng=rng, name="primary_2"),
+            ReLU(),
+        )
+        self.output_layer = Linear(hidden_dim, n_classes, rng=rng, name="output")
+        self._last_slices: list[tuple[str, slice]] | None = None
+
+    # -------------------------------------------------------------- forward
+
+    def _concat(self, inputs: dict[str, np.ndarray], training: bool) -> np.ndarray:
+        parts: list[np.ndarray] = []
+        slices: list[tuple[str, slice]] = []
+        offset = 0
+        for group in self.groups:
+            if group.name not in inputs:
+                raise KeyError(f"missing input group {group.name!r}")
+            x = np.asarray(inputs[group.name], dtype=np.float64)
+            subnet = self.subnetworks[group.name]
+            part = subnet.forward(x, training=training) if subnet is not None else x
+            parts.append(part)
+            slices.append((group.name, slice(offset, offset + part.shape[1])))
+            offset += part.shape[1]
+        self._last_slices = slices
+        return np.concatenate(parts, axis=1)
+
+    def penultimate(self, inputs: dict[str, np.ndarray], training: bool = False) -> np.ndarray:
+        """Activations of the last hidden layer (column embeddings)."""
+        concatenated = self._concat(inputs, training)
+        return self.primary.forward(concatenated, training=training)
+
+    def forward(self, inputs: dict[str, np.ndarray], training: bool = False) -> np.ndarray:
+        """Class logits for a batch of columns."""
+        hidden = self.penultimate(inputs, training=training)
+        return self.output_layer.forward(hidden, training=training)
+
+    def predict_proba(self, inputs: dict[str, np.ndarray]) -> np.ndarray:
+        """Class probabilities for a batch of columns."""
+        return softmax(self.forward(inputs, training=False), axis=1)
+
+    # ------------------------------------------------------------- backward
+
+    def backward(self, grad_logits: np.ndarray) -> None:
+        """Back-propagate the loss gradient through the whole network."""
+        if self._last_slices is None:
+            raise RuntimeError("forward must be called before backward")
+        grad_hidden = self.output_layer.backward(grad_logits)
+        grad_concat = self.primary.backward(grad_hidden)
+        for name, group_slice in self._last_slices:
+            subnet = self.subnetworks[name]
+            if subnet is not None:
+                subnet.backward(grad_concat[:, group_slice])
+
+    def parameters(self) -> list[Parameter]:
+        """All trainable parameters."""
+        parameters: list[Parameter] = []
+        for group in self.groups:
+            subnet = self.subnetworks[group.name]
+            if subnet is not None:
+                parameters.extend(subnet.parameters())
+        parameters.extend(self.primary.parameters())
+        parameters.extend(self.output_layer.parameters())
+        return parameters
+
+    # -------------------------------------------------------- serialisation
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Serialisable state of all subnetworks and the primary network."""
+        state: dict[str, np.ndarray] = {}
+        for group in self.groups:
+            subnet = self.subnetworks[group.name]
+            if subnet is not None:
+                for key, value in subnet.state_dict().items():
+                    state[f"subnet.{group.name}.{key}"] = value
+        for key, value in self.primary.state_dict().items():
+            state[f"primary.{key}"] = value
+        for key, value in self.output_layer.state_dict().items():
+            state[f"output.{key}"] = value
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore state produced by :meth:`state_dict`."""
+        for group in self.groups:
+            subnet = self.subnetworks[group.name]
+            if subnet is not None:
+                prefix = f"subnet.{group.name}."
+                subnet.load_state_dict(
+                    {k[len(prefix):]: v for k, v in state.items() if k.startswith(prefix)}
+                )
+        self.primary.load_state_dict(
+            {k[len("primary."):]: v for k, v in state.items() if k.startswith("primary.")}
+        )
+        self.output_layer.load_state_dict(
+            {k[len("output."):]: v for k, v in state.items() if k.startswith("output.")}
+        )
+
+
+class NetworkTrainer:
+    """Mini-batch Adam trainer for :class:`MultiInputClassifier`."""
+
+    def __init__(
+        self,
+        network: MultiInputClassifier,
+        learning_rate: float = 1e-4,
+        weight_decay: float = 1e-4,
+        batch_size: int = 64,
+        n_epochs: int = 100,
+        class_weights: np.ndarray | None = None,
+        seed: int = 0,
+        verbose: bool = False,
+    ) -> None:
+        self.network = network
+        self.optimizer = Adam(
+            network.parameters(),
+            learning_rate=learning_rate,
+            weight_decay=weight_decay,
+        )
+        self.batch_size = batch_size
+        self.n_epochs = n_epochs
+        self.class_weights = class_weights
+        self.seed = seed
+        self.verbose = verbose
+        self.history: list[float] = []
+
+    def fit(self, inputs: dict[str, np.ndarray], targets: np.ndarray) -> "NetworkTrainer":
+        """Train the network on featurised columns."""
+        targets = np.asarray(targets, dtype=np.int64)
+        n_samples = targets.shape[0]
+        if n_samples == 0:
+            return self
+        rng = np.random.default_rng(self.seed)
+        for _ in range(self.n_epochs):
+            order = rng.permutation(n_samples)
+            epoch_loss = 0.0
+            n_batches = 0
+            for start in range(0, n_samples, self.batch_size):
+                batch_idx = order[start: start + self.batch_size]
+                batch_inputs = {
+                    name: array[batch_idx] for name, array in inputs.items()
+                }
+                batch_targets = targets[batch_idx]
+                self.optimizer.zero_grad()
+                logits = self.network.forward(batch_inputs, training=True)
+                loss, grad = cross_entropy_loss(
+                    logits, batch_targets, class_weights=self.class_weights
+                )
+                self.network.backward(grad)
+                self.optimizer.step()
+                epoch_loss += loss
+                n_batches += 1
+            self.history.append(epoch_loss / max(1, n_batches))
+            if self.verbose:  # pragma: no cover - logging only
+                print(f"epoch loss={self.history[-1]:.4f}")
+        return self

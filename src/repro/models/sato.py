@@ -1,0 +1,199 @@
+"""The full Sato model and its ablation variants.
+
+Sato = a column-wise model (topic-aware by default) providing unary
+potentials + a linear-chain CRF over the columns of each table providing the
+local context.  The four paper configurations are:
+
+============== =========== ================
+variant        topic-aware structured (CRF)
+============== =========== ================
+``Base``       no          no
+``SatoNoTopic``no          yes
+``SatoNoStruct``yes        no
+``Sato``       yes         yes
+============== =========== ================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.corpus.statistics import adjacent_cooccurrence_matrix
+from repro.crf import CRFTrainer, CRFTrainingExample, LinearChainCRF
+from repro.features import ColumnFeaturizer
+from repro.models.base import ColumnModel, TrainingConfig
+from repro.models.sherlock import SherlockModel
+from repro.models.topic_aware import TopicAwareModel
+from repro.tables import Table
+from repro.types import INDEX_TO_TYPE, NUM_TYPES, TYPE_TO_INDEX
+
+__all__ = ["SatoConfig", "SatoModel"]
+
+_LOG_EPS = 1e-12
+
+
+@dataclass
+class SatoConfig:
+    """Configuration of the full Sato pipeline."""
+
+    #: Include the topic-aware (global context) module.
+    use_topic: bool = True
+    #: Include the structured-prediction (CRF / local context) module.
+    use_struct: bool = True
+    #: Topic-vector dimensionality (paper default: 400).
+    n_topics: int = 64
+    #: Column-network training hyper-parameters.
+    training: TrainingConfig = field(default_factory=TrainingConfig)
+    #: CRF training hyper-parameters (paper: lr 1e-2, 15 epochs, batch 10).
+    crf_learning_rate: float = 1e-2
+    crf_epochs: int = 15
+    crf_batch_size: int = 10
+    #: Initialise CRF pairwise potentials from adjacent co-occurrence counts.
+    crf_cooccurrence_init: bool = True
+    seed: int = 0
+
+
+class SatoModel(ColumnModel):
+    """Hybrid semantic type detection model (topic-aware + CRF)."""
+
+    def __init__(
+        self,
+        config: SatoConfig | None = None,
+        featurizer: ColumnFeaturizer | None = None,
+        column_model: SherlockModel | None = None,
+    ) -> None:
+        self.config = config or SatoConfig()
+        if column_model is not None:
+            self.column_model = column_model
+        elif self.config.use_topic:
+            self.column_model = TopicAwareModel(
+                featurizer=featurizer,
+                config=self.config.training,
+                n_topics=self.config.n_topics,
+            )
+        else:
+            self.column_model = SherlockModel(
+                featurizer=featurizer, config=self.config.training
+            )
+        self.crf: LinearChainCRF | None = None
+        self.name = self._variant_name()
+
+    def _variant_name(self) -> str:
+        if self.config.use_topic and self.config.use_struct:
+            return "Sato"
+        if self.config.use_topic:
+            return "SatoNoStruct"
+        if self.config.use_struct:
+            return "SatoNoTopic"
+        return "Base"
+
+    # ------------------------------------------------------------ variants
+
+    @classmethod
+    def full(cls, **kwargs) -> "SatoModel":
+        """The complete Sato model (topic + CRF)."""
+        return cls(config=SatoConfig(use_topic=True, use_struct=True, **kwargs))
+
+    @classmethod
+    def no_topic(cls, **kwargs) -> "SatoModel":
+        """Ablation: CRF over Base outputs, no topic features."""
+        return cls(config=SatoConfig(use_topic=False, use_struct=True, **kwargs))
+
+    @classmethod
+    def no_struct(cls, **kwargs) -> "SatoModel":
+        """Ablation: topic-aware prediction only, no CRF."""
+        return cls(config=SatoConfig(use_topic=True, use_struct=False, **kwargs))
+
+    @classmethod
+    def base(cls, **kwargs) -> "SatoModel":
+        """The single-column Base model wrapped in the Sato interface."""
+        return cls(config=SatoConfig(use_topic=False, use_struct=False, **kwargs))
+
+    # ------------------------------------------------------------- training
+
+    def fit(self, tables: Sequence[Table]) -> "SatoModel":
+        """Train the column-wise model, then (optionally) the CRF layer."""
+        tables = list(tables)
+        self.column_model.fit(tables)
+        if self.config.use_struct:
+            self._fit_crf(tables)
+        return self
+
+    def fit_structured(self, tables: Sequence[Table]) -> "SatoModel":
+        """Train only the CRF layer, assuming the column model is already fitted.
+
+        Useful when plugging in an externally trained column model (the
+        Section 6 extensibility scenario) where only the structured layer
+        still needs training.
+        """
+        if not self.config.use_struct:
+            raise ValueError("fit_structured requires use_struct=True")
+        self._fit_crf(list(tables))
+        return self
+
+    def _fit_crf(self, tables: Sequence[Table]) -> None:
+        multi = [t for t in tables if t.n_columns > 1 and t.is_fully_labeled]
+        if self.config.crf_cooccurrence_init and multi:
+            cooccurrence = adjacent_cooccurrence_matrix(multi)
+            self.crf = LinearChainCRF.from_cooccurrence(cooccurrence, scale=0.5)
+        else:
+            self.crf = LinearChainCRF(n_states=NUM_TYPES)
+        examples = []
+        for table in multi:
+            unary = self._unary_potentials(table)
+            labels = np.array(
+                [TYPE_TO_INDEX[c.semantic_type] for c in table.columns], dtype=np.int64
+            )
+            examples.append(CRFTrainingExample(unary=unary, labels=labels))
+        trainer = CRFTrainer(
+            self.crf,
+            learning_rate=self.config.crf_learning_rate,
+            n_epochs=self.config.crf_epochs,
+            batch_size=self.config.crf_batch_size,
+            seed=self.config.seed,
+        )
+        trainer.fit(examples)
+
+    def _unary_potentials(self, table: Table) -> np.ndarray:
+        """Log of the normalised column-wise prediction scores."""
+        probabilities = self.column_model.predict_proba_table(table)
+        return np.log(probabilities + _LOG_EPS)
+
+    # ------------------------------------------------------------ inference
+
+    def predict_proba_table(self, table: Table) -> np.ndarray:
+        """Per-column type distributions.
+
+        With the CRF enabled and a multi-column table, these are the CRF
+        posterior marginals; otherwise they are the column-wise scores.
+        """
+        probabilities = self.column_model.predict_proba_table(table)
+        if (
+            self.config.use_struct
+            and self.crf is not None
+            and probabilities.shape[0] > 1
+        ):
+            unary = np.log(probabilities + _LOG_EPS)
+            return self.crf.marginals(unary)
+        return probabilities
+
+    def predict_table(self, table: Table) -> list[str]:
+        """Predicted semantic type per column (Viterbi when the CRF is on)."""
+        probabilities = self.column_model.predict_proba_table(table)
+        if (
+            self.config.use_struct
+            and self.crf is not None
+            and probabilities.shape[0] > 1
+        ):
+            unary = np.log(probabilities + _LOG_EPS)
+            indices = self.crf.viterbi(unary)
+        else:
+            indices = probabilities.argmax(axis=1)
+        return [INDEX_TO_TYPE[int(i)] for i in indices]
+
+    def column_embeddings(self, table: Table) -> np.ndarray:
+        """Column embeddings from the column-wise model (before the CRF)."""
+        return self.column_model.column_embeddings(table)

@@ -1,0 +1,143 @@
+"""The single-column Base model (Sherlock re-implementation).
+
+A multi-input feed-forward network over the Char / Word / Para / Stat
+feature groups of a single column.  This is the paper's ``Base`` baseline
+and the foundation the topic-aware model extends.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.features import ColumnFeaturizer
+from repro.models.base import ColumnModel, TrainingConfig
+from repro.models.column_network import GroupSpec, MultiInputClassifier, NetworkTrainer
+from repro.tables import Table
+from repro.types import NUM_TYPES, TYPE_TO_INDEX
+
+__all__ = ["SherlockModel"]
+
+
+class SherlockModel(ColumnModel):
+    """Single-column semantic type classifier (the Base model)."""
+
+    name = "Base"
+
+    def __init__(
+        self,
+        featurizer: ColumnFeaturizer | None = None,
+        config: TrainingConfig | None = None,
+        n_classes: int = NUM_TYPES,
+    ) -> None:
+        self.featurizer = featurizer or ColumnFeaturizer()
+        self.config = config or TrainingConfig()
+        self.n_classes = n_classes
+        self.network: MultiInputClassifier | None = None
+        self.trainer: NetworkTrainer | None = None
+
+    # ------------------------------------------------------------- plumbing
+
+    def _group_specs(self) -> list[GroupSpec]:
+        specs = []
+        for group in self.featurizer.groups:
+            specs.append(
+                GroupSpec(
+                    name=group.name,
+                    input_dim=group.size,
+                    compress=group.name != "stat",
+                )
+            )
+        return specs
+
+    def split_features(self, features: np.ndarray) -> dict[str, np.ndarray]:
+        """Split a full feature matrix into per-group inputs."""
+        features = np.atleast_2d(features)
+        return {
+            group.name: features[:, group.slice]
+            for group in self.featurizer.groups
+        }
+
+    def _class_weights(self, targets: np.ndarray) -> np.ndarray | None:
+        if not self.config.use_class_weights:
+            return None
+        counts = np.bincount(targets, minlength=self.n_classes).astype(np.float64)
+        weights = np.zeros(self.n_classes, dtype=np.float64)
+        seen = counts > 0
+        weights[seen] = counts[seen].sum() / (seen.sum() * counts[seen])
+        # Clip so that extremely rare classes do not dominate the loss.
+        return np.clip(weights, 0.1, 10.0)
+
+    def _labeled_training_arrays(
+        self, tables: Sequence[Table]
+    ) -> tuple[np.ndarray, np.ndarray, list[int]]:
+        feature_matrix = self.featurizer.transform_tables(list(tables))
+        keep = [
+            i
+            for i, label in enumerate(feature_matrix.labels)
+            if label in TYPE_TO_INDEX
+        ]
+        features = feature_matrix.matrix[keep]
+        targets = np.array(
+            [TYPE_TO_INDEX[feature_matrix.labels[i]] for i in keep], dtype=np.int64
+        )
+        return features, targets, keep
+
+    # ------------------------------------------------------------- training
+
+    def build_network(self, extra_groups: list[GroupSpec] | None = None) -> MultiInputClassifier:
+        """Construct the multi-input network (optionally with extra groups)."""
+        specs = self._group_specs()
+        if extra_groups:
+            specs = specs + list(extra_groups)
+        return MultiInputClassifier(
+            groups=specs,
+            n_classes=self.n_classes,
+            subnet_dim=self.config.subnet_dim,
+            hidden_dim=self.config.hidden_dim,
+            dropout=self.config.dropout,
+            seed=self.config.seed,
+        )
+
+    def fit(self, tables: Sequence[Table]) -> "SherlockModel":
+        """Fit the featurizer and train the network on labelled tables."""
+        tables = list(tables)
+        if not self.featurizer.is_fitted:
+            self.featurizer.fit(tables)
+        features, targets, _ = self._labeled_training_arrays(tables)
+        self.network = self.build_network()
+        self.trainer = NetworkTrainer(
+            self.network,
+            learning_rate=self.config.learning_rate,
+            weight_decay=self.config.weight_decay,
+            batch_size=self.config.batch_size,
+            n_epochs=self.config.n_epochs,
+            class_weights=self._class_weights(targets),
+            seed=self.config.seed,
+        )
+        self.trainer.fit(self.split_features(features), targets)
+        return self
+
+    # ------------------------------------------------------------ inference
+
+    def predict_proba_from_features(self, features: np.ndarray) -> np.ndarray:
+        """Class probabilities from pre-computed column features."""
+        if self.network is None:
+            raise RuntimeError("model is not fitted")
+        return self.network.predict_proba(self.split_features(features))
+
+    def predict_proba_table(self, table: Table) -> np.ndarray:
+        if self.network is None:
+            raise RuntimeError("model is not fitted")
+        if not table.columns:
+            return np.zeros((0, self.n_classes))
+        features = self.featurizer.transform_table(table)
+        return self.predict_proba_from_features(features)
+
+    def column_embeddings(self, table: Table) -> np.ndarray:
+        """Final hidden-layer activations per column."""
+        if self.network is None:
+            raise RuntimeError("model is not fitted")
+        features = self.featurizer.transform_table(table)
+        return self.network.penultimate(self.split_features(features))

@@ -1,0 +1,34 @@
+"""A small from-scratch neural network library (numpy only).
+
+This replaces PyTorch for the reproduction: layers implement explicit
+``forward``/``backward`` passes, :class:`~repro.nn.network.Sequential`
+composes them, and the optimisers update :class:`~repro.nn.parameter.Parameter`
+objects in place.  The library is deliberately small but complete enough for
+the Sherlock/Sato architectures: Linear, ReLU, Dropout, BatchNorm1d, softmax
+cross-entropy, SGD and Adam with decoupled weight decay, plus serialisation
+and gradient-checking helpers used by the test-suite.
+"""
+
+from repro.nn.parameter import Parameter
+from repro.nn.layers import BatchNorm1d, Dropout, Linear, ReLU, Tanh
+from repro.nn.losses import cross_entropy_loss, log_softmax, softmax
+from repro.nn.network import Sequential
+from repro.nn.optim import SGD, Adam
+from repro.nn.gradcheck import numerical_gradient, check_layer_gradients
+
+__all__ = [
+    "Parameter",
+    "Linear",
+    "ReLU",
+    "Tanh",
+    "Dropout",
+    "BatchNorm1d",
+    "Sequential",
+    "softmax",
+    "log_softmax",
+    "cross_entropy_loss",
+    "SGD",
+    "Adam",
+    "numerical_gradient",
+    "check_layer_gradients",
+]

@@ -1,0 +1,78 @@
+"""Numerical gradient checking utilities (used by the test-suite)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.nn.layers import Layer
+
+__all__ = ["numerical_gradient", "check_layer_gradients"]
+
+
+def numerical_gradient(
+    function: Callable[[np.ndarray], float],
+    point: np.ndarray,
+    epsilon: float = 1e-6,
+) -> np.ndarray:
+    """Central-difference numerical gradient of a scalar function."""
+    point = np.asarray(point, dtype=np.float64)
+    grad = np.zeros_like(point)
+    flat = point.ravel()
+    grad_flat = grad.ravel()
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + epsilon
+        upper = function(point)
+        flat[index] = original - epsilon
+        lower = function(point)
+        flat[index] = original
+        grad_flat[index] = (upper - lower) / (2 * epsilon)
+    return grad
+
+
+def check_layer_gradients(
+    layer: Layer,
+    inputs: np.ndarray,
+    epsilon: float = 1e-6,
+) -> tuple[float, dict[str, float]]:
+    """Compare analytic and numerical gradients of a layer.
+
+    The scalar objective is ``0.5 * sum(output ** 2)``, whose gradient with
+    respect to the output is the output itself.  Returns the maximum relative
+    error for the input gradient and for each parameter.
+    """
+    inputs = np.asarray(inputs, dtype=np.float64)
+
+    def objective_wrt_input(x: np.ndarray) -> float:
+        output = layer.forward(x, training=False)
+        return 0.5 * float((output ** 2).sum())
+
+    output = layer.forward(inputs, training=False)
+    for parameter in layer.parameters():
+        parameter.zero_grad()
+    analytic_input_grad = layer.backward(output)
+    numeric_input_grad = numerical_gradient(objective_wrt_input, inputs.copy(), epsilon)
+    input_error = _relative_error(analytic_input_grad, numeric_input_grad)
+
+    parameter_errors: dict[str, float] = {}
+    for parameter in layer.parameters():
+        analytic = parameter.grad.copy()
+
+        def objective_wrt_param(values: np.ndarray, parameter=parameter) -> float:
+            original = parameter.data
+            parameter.data = values
+            output = layer.forward(inputs, training=False)
+            parameter.data = original
+            return 0.5 * float((output ** 2).sum())
+
+        numeric = numerical_gradient(objective_wrt_param, parameter.data.copy(), epsilon)
+        parameter_errors[parameter.name] = _relative_error(analytic, numeric)
+    return input_error, parameter_errors
+
+
+def _relative_error(a: np.ndarray, b: np.ndarray) -> float:
+    numerator = np.abs(a - b).max() if a.size else 0.0
+    denominator = max(np.abs(a).max() if a.size else 0.0, np.abs(b).max() if b.size else 0.0, 1e-8)
+    return float(numerator / denominator)

@@ -1,0 +1,189 @@
+"""Neural network layers with explicit forward/backward passes.
+
+Every layer operates on 2-D arrays of shape ``(batch, features)`` and caches
+whatever the backward pass needs during ``forward``.  Layers expose their
+trainable parameters through :meth:`Layer.parameters`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.parameter import Parameter
+
+__all__ = ["Layer", "Linear", "ReLU", "Tanh", "Dropout", "BatchNorm1d"]
+
+
+class Layer:
+    """Base class for all layers."""
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        """Compute the layer output, caching values needed by backward."""
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Back-propagate ``grad_output``; accumulates parameter gradients."""
+        raise NotImplementedError
+
+    def parameters(self) -> list[Parameter]:
+        """Trainable parameters of the layer."""
+        return []
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Serialisable state (parameters plus running statistics)."""
+        return {p.name: p.data.copy() for p in self.parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore state produced by :meth:`state_dict`."""
+        for parameter in self.parameters():
+            if parameter.name in state:
+                parameter.data = np.asarray(state[parameter.name], dtype=np.float64)
+
+    def __call__(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        return self.forward(inputs, training=training)
+
+
+class Linear(Layer):
+    """Fully connected layer: ``y = x W + b`` with He initialisation."""
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator | None = None, name: str = "linear") -> None:
+        if in_features < 1 or out_features < 1:
+            raise ValueError("feature sizes must be positive")
+        rng = rng or np.random.default_rng(0)
+        scale = np.sqrt(2.0 / in_features)
+        self.weight = Parameter(
+            rng.normal(scale=scale, size=(in_features, out_features)),
+            name=f"{name}.weight",
+        )
+        self.bias = Parameter(np.zeros(out_features), name=f"{name}.bias")
+        self._inputs: np.ndarray | None = None
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        self._inputs = inputs
+        return inputs @ self.weight.data + self.bias.data
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        assert self._inputs is not None, "forward must be called before backward"
+        self.weight.grad += self._inputs.T @ grad_output
+        self.bias.grad += grad_output.sum(axis=0)
+        return grad_output @ self.weight.data.T
+
+    def parameters(self) -> list[Parameter]:
+        return [self.weight, self.bias]
+
+
+class ReLU(Layer):
+    """Rectified linear unit."""
+
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        self._mask = inputs > 0
+        return inputs * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        assert self._mask is not None
+        return grad_output * self._mask
+
+
+class Tanh(Layer):
+    """Hyperbolic tangent activation."""
+
+    def __init__(self) -> None:
+        self._output: np.ndarray | None = None
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        self._output = np.tanh(inputs)
+        return self._output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        assert self._output is not None
+        return grad_output * (1.0 - self._output ** 2)
+
+
+class Dropout(Layer):
+    """Inverted dropout: active only during training."""
+
+    def __init__(self, rate: float = 0.3, rng: np.random.Generator | None = None) -> None:
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("dropout rate must be in [0, 1)")
+        self.rate = rate
+        self._rng = rng or np.random.default_rng(0)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return inputs
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(inputs.shape) < keep) / keep
+        return inputs * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_output
+        return grad_output * self._mask
+
+
+class BatchNorm1d(Layer):
+    """Batch normalisation over the batch dimension with running statistics."""
+
+    def __init__(self, n_features: int, momentum: float = 0.1, eps: float = 1e-5, name: str = "bn") -> None:
+        self.gamma = Parameter(np.ones(n_features), name=f"{name}.gamma")
+        self.beta = Parameter(np.zeros(n_features), name=f"{name}.beta")
+        self.momentum = momentum
+        self.eps = eps
+        self.running_mean = np.zeros(n_features)
+        self.running_var = np.ones(n_features)
+        self._name = name
+        self._cache: tuple | None = None
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        if training and inputs.shape[0] > 1:
+            mean = inputs.mean(axis=0)
+            var = inputs.var(axis=0)
+            self.running_mean = (
+                (1 - self.momentum) * self.running_mean + self.momentum * mean
+            )
+            self.running_var = (
+                (1 - self.momentum) * self.running_var + self.momentum * var
+            )
+        else:
+            mean = self.running_mean
+            var = self.running_var
+        std = np.sqrt(var + self.eps)
+        normalized = (inputs - mean) / std
+        self._cache = (normalized, std, training and inputs.shape[0] > 1)
+        return self.gamma.data * normalized + self.beta.data
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        assert self._cache is not None
+        normalized, std, used_batch_stats = self._cache
+        self.gamma.grad += (grad_output * normalized).sum(axis=0)
+        self.beta.grad += grad_output.sum(axis=0)
+        grad_normalized = grad_output * self.gamma.data
+        if not used_batch_stats:
+            return grad_normalized / std
+        n = grad_output.shape[0]
+        return (
+            grad_normalized
+            - grad_normalized.mean(axis=0)
+            - normalized * (grad_normalized * normalized).mean(axis=0)
+        ) / std
+
+    def parameters(self) -> list[Parameter]:
+        return [self.gamma, self.beta]
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        state = super().state_dict()
+        state[f"{self._name}.running_mean"] = self.running_mean.copy()
+        state[f"{self._name}.running_var"] = self.running_var.copy()
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        super().load_state_dict(state)
+        if f"{self._name}.running_mean" in state:
+            self.running_mean = np.asarray(state[f"{self._name}.running_mean"], dtype=np.float64)
+        if f"{self._name}.running_var" in state:
+            self.running_var = np.asarray(state[f"{self._name}.running_var"], dtype=np.float64)

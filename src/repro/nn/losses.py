@@ -1,0 +1,66 @@
+"""Softmax, log-softmax and cross-entropy loss."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["softmax", "log_softmax", "cross_entropy_loss"]
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    logits = np.asarray(logits, dtype=np.float64)
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log-softmax."""
+    logits = np.asarray(logits, dtype=np.float64)
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+
+
+def cross_entropy_loss(
+    logits: np.ndarray,
+    targets: np.ndarray,
+    class_weights: np.ndarray | None = None,
+) -> tuple[float, np.ndarray]:
+    """Mean cross-entropy loss and its gradient with respect to the logits.
+
+    Parameters
+    ----------
+    logits:
+        ``(batch, n_classes)`` unnormalised scores.
+    targets:
+        ``(batch,)`` integer class indices.
+    class_weights:
+        Optional per-class weights (used to counteract class imbalance).
+
+    Returns
+    -------
+    (loss, grad):
+        The scalar loss and the gradient of the same shape as ``logits``.
+    """
+    logits = np.asarray(logits, dtype=np.float64)
+    targets = np.asarray(targets, dtype=np.int64)
+    if logits.ndim != 2:
+        raise ValueError("logits must be 2-D (batch, n_classes)")
+    if targets.shape[0] != logits.shape[0]:
+        raise ValueError("targets and logits batch sizes differ")
+    batch = logits.shape[0]
+    log_probs = log_softmax(logits, axis=1)
+    picked = log_probs[np.arange(batch), targets]
+    if class_weights is not None:
+        weights = np.asarray(class_weights, dtype=np.float64)[targets]
+    else:
+        weights = np.ones(batch, dtype=np.float64)
+    total_weight = max(weights.sum(), 1e-12)
+    loss = float(-(weights * picked).sum() / total_weight)
+
+    probs = np.exp(log_probs)
+    grad = probs * weights[:, None]
+    grad[np.arange(batch), targets] -= weights
+    grad /= total_weight
+    return loss, grad

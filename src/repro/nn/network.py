@@ -1,0 +1,57 @@
+"""Layer composition."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Layer
+from repro.nn.parameter import Parameter
+
+__all__ = ["Sequential"]
+
+
+class Sequential(Layer):
+    """A stack of layers applied in order."""
+
+    def __init__(self, *layers: Layer) -> None:
+        self.layers = list(layers)
+
+    def add(self, layer: Layer) -> "Sequential":
+        """Append a layer."""
+        self.layers.append(layer)
+        return self
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        output = inputs
+        for layer in self.layers:
+            output = layer.forward(output, training=training)
+        return output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = grad_output
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def parameters(self) -> list[Parameter]:
+        parameters: list[Parameter] = []
+        for layer in self.layers:
+            parameters.extend(layer.parameters())
+        return parameters
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        state: dict[str, np.ndarray] = {}
+        for index, layer in enumerate(self.layers):
+            for key, value in layer.state_dict().items():
+                state[f"{index}:{key}"] = value
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        for index, layer in enumerate(self.layers):
+            prefix = f"{index}:"
+            layer_state = {
+                key[len(prefix):]: value
+                for key, value in state.items()
+                if key.startswith(prefix)
+            }
+            layer.load_state_dict(layer_state)

@@ -1,0 +1,95 @@
+"""Optimisers: SGD with momentum and Adam with decoupled weight decay."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.parameter import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adam"]
+
+
+class Optimizer:
+    """Base optimiser over a list of parameters."""
+
+    def __init__(self, parameters: list[Parameter], learning_rate: float) -> None:
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        self.parameters = list(parameters)
+        self.learning_rate = learning_rate
+
+    def zero_grad(self) -> None:
+        """Reset every parameter's gradient."""
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    def step(self) -> None:
+        """Apply one update using the accumulated gradients."""
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(
+        self,
+        parameters: list[Parameter],
+        learning_rate: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, learning_rate)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for parameter, velocity in zip(self.parameters, self._velocity):
+            grad = parameter.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * parameter.data
+            velocity *= self.momentum
+            velocity -= self.learning_rate * grad
+            parameter.data += velocity
+
+
+class Adam(Optimizer):
+    """Adam optimiser with decoupled weight decay (AdamW-style).
+
+    The paper trains the Base network with Adam at learning rate 1e-4 and
+    weight decay 1e-4, and the CRF layer with Adam at learning rate 1e-2.
+    """
+
+    def __init__(
+        self,
+        parameters: list[Parameter],
+        learning_rate: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, learning_rate)
+        self.betas = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step = 0
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        self._step += 1
+        beta1, beta2 = self.betas
+        bias_correction1 = 1.0 - beta1 ** self._step
+        bias_correction2 = 1.0 - beta2 ** self._step
+        for parameter, m, v in zip(self.parameters, self._m, self._v):
+            grad = parameter.grad
+            m *= beta1
+            m += (1.0 - beta1) * grad
+            v *= beta2
+            v += (1.0 - beta2) * grad ** 2
+            m_hat = m / bias_correction1
+            v_hat = v / bias_correction2
+            update = m_hat / (np.sqrt(v_hat) + self.eps)
+            if self.weight_decay:
+                update = update + self.weight_decay * parameter.data
+            parameter.data -= self.learning_rate * update

@@ -1,0 +1,24 @@
+"""Table data model and I/O.
+
+The :class:`~repro.tables.table.Table` and :class:`~repro.tables.table.Column`
+classes are the fundamental objects flowing through the library: the corpus
+generator produces them, feature extractors consume them, and the models
+predict one semantic type per column.
+"""
+
+from repro.tables.table import Column, Table
+from repro.tables.io import (
+    table_from_csv,
+    table_to_csv,
+    tables_from_jsonl,
+    tables_to_jsonl,
+)
+
+__all__ = [
+    "Column",
+    "Table",
+    "table_from_csv",
+    "table_to_csv",
+    "tables_from_jsonl",
+    "tables_to_jsonl",
+]

@@ -1,0 +1,22 @@
+"""Topic modelling substrate: LDA and the table intent estimator.
+
+Sato estimates a table's *intent* by treating all cell values of the table as
+one document and running it through an LDA model pre-trained (unsupervised,
+headers removed) on a table corpus.  The resulting fixed-length topic vector
+is shared by all columns of the table and fed to the topic subnetwork of the
+topic-aware model.
+"""
+
+from repro.topic.dictionary import Dictionary
+from repro.topic.lda import LatentDirichletAllocation
+from repro.topic.intent import TableIntentEstimator
+from repro.topic.analysis import topic_saliency, topic_type_distribution, top_salient_topics
+
+__all__ = [
+    "Dictionary",
+    "LatentDirichletAllocation",
+    "TableIntentEstimator",
+    "topic_saliency",
+    "topic_type_distribution",
+    "top_salient_topics",
+]

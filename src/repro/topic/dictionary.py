@@ -1,0 +1,73 @@
+"""Bag-of-words dictionary for the LDA model (gensim-style)."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Sequence
+
+__all__ = ["Dictionary"]
+
+
+class Dictionary:
+    """Token <-> id mapping with document-frequency based filtering.
+
+    Mirrors the part of ``gensim.corpora.Dictionary`` the paper relies on:
+    building a vocabulary from "documents" (all values of a table) and
+    converting documents to bag-of-words id lists.
+    """
+
+    def __init__(self, no_below: int = 2, no_above: float = 1.0, max_size: int | None = 20000) -> None:
+        if no_below < 1:
+            raise ValueError("no_below must be >= 1")
+        if not 0.0 < no_above <= 1.0:
+            raise ValueError("no_above must be in (0, 1]")
+        self.no_below = no_below
+        self.no_above = no_above
+        self.max_size = max_size
+        self.token_to_id: dict[str, int] = {}
+        self.id_to_token: list[str] = []
+        self._fitted = False
+
+    def __len__(self) -> int:
+        return len(self.id_to_token)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self.token_to_id
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return self._fitted
+
+    def fit(self, documents: Iterable[Sequence[str]]) -> "Dictionary":
+        """Build the dictionary from tokenised documents."""
+        documents = [list(d) for d in documents]
+        n_docs = max(1, len(documents))
+        document_frequency: Counter = Counter()
+        for document in documents:
+            document_frequency.update(set(document))
+        kept = [
+            (token, freq)
+            for token, freq in document_frequency.items()
+            if freq >= self.no_below and freq / n_docs <= self.no_above
+        ]
+        kept.sort(key=lambda kv: (-kv[1], kv[0]))
+        if self.max_size is not None:
+            kept = kept[: self.max_size]
+        self.id_to_token = [token for token, _ in kept]
+        self.token_to_id = {token: i for i, token in enumerate(self.id_to_token)}
+        self._fitted = True
+        return self
+
+    def doc2ids(self, document: Sequence[str]) -> list[int]:
+        """Convert a tokenised document to a list of token ids (OOV dropped)."""
+        return [
+            self.token_to_id[token]
+            for token in document
+            if token in self.token_to_id
+        ]
+
+    def doc2bow(self, document: Sequence[str]) -> list[tuple[int, int]]:
+        """Convert a document to (token_id, count) pairs."""
+        counts = Counter(self.doc2ids(document))
+        return sorted(counts.items())

@@ -1,0 +1,79 @@
+"""Table intent estimation (the "global context" of Sato).
+
+The estimator treats all values of a table as one document, runs it through a
+pre-trained LDA model, and returns the fixed-length topic vector every column
+of the table shares.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.embeddings.tokenizer import tokenize_values
+from repro.tables import Table
+from repro.topic.dictionary import Dictionary
+from repro.topic.lda import LatentDirichletAllocation
+
+__all__ = ["TableIntentEstimator"]
+
+
+class TableIntentEstimator:
+    """Maps a table to a topic vector describing its intent.
+
+    Parameters
+    ----------
+    n_topics:
+        Topic-vector dimensionality (the paper uses 400).
+    max_tokens_per_table:
+        Token budget per table document, bounding LDA cost on huge tables.
+    """
+
+    def __init__(
+        self,
+        n_topics: int = 400,
+        max_tokens_per_table: int = 512,
+        n_iterations: int = 30,
+        infer_iterations: int = 15,
+        seed: int = 0,
+    ) -> None:
+        self.n_topics = n_topics
+        self.max_tokens_per_table = max_tokens_per_table
+        self.lda = LatentDirichletAllocation(
+            n_topics=n_topics,
+            n_iterations=n_iterations,
+            infer_iterations=infer_iterations,
+            seed=seed,
+        )
+        self._fitted = False
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return self._fitted
+
+    def table_document(self, table: Table) -> list[str]:
+        """Tokenise a table's values into one document (headers ignored)."""
+        return tokenize_values(table.all_values())[: self.max_tokens_per_table]
+
+    def fit(self, tables: Iterable[Table]) -> "TableIntentEstimator":
+        """Pre-train the LDA model on an unlabelled table corpus."""
+        documents = [self.table_document(t) for t in tables]
+        # Drop tokens present in >70% of tables: they carry no intent signal.
+        dictionary = Dictionary(no_below=2, no_above=0.7).fit(documents)
+        self.lda.fit(documents, dictionary=dictionary)
+        self._fitted = True
+        return self
+
+    def topic_vector(self, table: Table) -> np.ndarray:
+        """Infer the topic vector of one table."""
+        if not self._fitted:
+            raise RuntimeError("intent estimator is not fitted")
+        return self.lda.transform(self.table_document(table))
+
+    def topic_vectors(self, tables: Sequence[Table]) -> np.ndarray:
+        """Infer topic vectors for a sequence of tables."""
+        if not tables:
+            return np.zeros((0, self.n_topics))
+        return np.stack([self.topic_vector(t) for t in tables])

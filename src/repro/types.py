@@ -1,0 +1,181 @@
+"""Semantic type registry and header canonicalisation.
+
+The paper (Section 4.1) considers 78 semantic types originating from the
+T2Dv2 gold standard selection made for Sherlock.  Ground-truth labels are
+obtained by converting column headers to a *canonical form*:
+
+* content in parentheses is trimmed,
+* the string is lower-cased,
+* every word except the first is capitalised,
+* the words are concatenated into a single camelCase string.
+
+``'YEAR'``, ``'Year'`` and ``'year (first occurrence)'`` all canonicalise to
+``'year'``; ``'birth place (country)'`` becomes ``'birthPlace'``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+__all__ = [
+    "SEMANTIC_TYPES",
+    "NUM_TYPES",
+    "TYPE_TO_INDEX",
+    "INDEX_TO_TYPE",
+    "canonicalize_header",
+    "is_semantic_type",
+    "type_index",
+    "type_name",
+    "UnknownSemanticTypeError",
+]
+
+
+class UnknownSemanticTypeError(KeyError):
+    """Raised when a label is not one of the 78 supported semantic types."""
+
+
+#: The 78 semantic types used by Sherlock and Sato (Figure 5 of the paper),
+#: ordered roughly by their frequency in the WebTables sample so that the
+#: head/tail structure of the registry mirrors the paper's figure.
+SEMANTIC_TYPES: tuple[str, ...] = (
+    "name",
+    "description",
+    "team",
+    "type",
+    "age",
+    "location",
+    "year",
+    "city",
+    "rank",
+    "status",
+    "state",
+    "category",
+    "weight",
+    "code",
+    "club",
+    "artist",
+    "result",
+    "position",
+    "country",
+    "notes",
+    "class",
+    "company",
+    "album",
+    "symbol",
+    "address",
+    "duration",
+    "format",
+    "county",
+    "day",
+    "gender",
+    "industry",
+    "language",
+    "sex",
+    "product",
+    "jockey",
+    "region",
+    "area",
+    "service",
+    "teamName",
+    "order",
+    "isbn",
+    "fileSize",
+    "grades",
+    "publisher",
+    "plays",
+    "origin",
+    "elevation",
+    "affiliation",
+    "component",
+    "owner",
+    "genre",
+    "manufacturer",
+    "brand",
+    "family",
+    "credit",
+    "depth",
+    "classification",
+    "collection",
+    "species",
+    "command",
+    "nationality",
+    "currency",
+    "range",
+    "affiliate",
+    "birthDate",
+    "ranking",
+    "capacity",
+    "birthPlace",
+    "person",
+    "creator",
+    "operator",
+    "religion",
+    "education",
+    "requirement",
+    "director",
+    "sales",
+    "continent",
+    "organisation",
+)
+
+NUM_TYPES: int = len(SEMANTIC_TYPES)
+
+TYPE_TO_INDEX: dict[str, int] = {name: i for i, name in enumerate(SEMANTIC_TYPES)}
+INDEX_TO_TYPE: dict[int, str] = {i: name for i, name in enumerate(SEMANTIC_TYPES)}
+
+_PAREN_RE = re.compile(r"\([^)]*\)")
+_SPLIT_RE = re.compile(r"[^0-9a-zA-Z]+")
+
+
+def canonicalize_header(header: str) -> str:
+    """Convert a raw column header to the canonical camelCase form.
+
+    The rules follow Section 4.1 of the paper: trim parenthesised content,
+    lower-case, capitalise every word but the first, concatenate.
+
+    >>> canonicalize_header('YEAR')
+    'year'
+    >>> canonicalize_header('year (first occurrence)')
+    'year'
+    >>> canonicalize_header('birth place (country)')
+    'birthPlace'
+    """
+    if header is None:
+        return ""
+    text = _PAREN_RE.sub(" ", str(header))
+    words = [w for w in _SPLIT_RE.split(text) if w]
+    if not words:
+        return ""
+    words = [w.lower() for w in words]
+    first, rest = words[0], words[1:]
+    return first + "".join(w.capitalize() for w in rest)
+
+
+def is_semantic_type(label: str) -> bool:
+    """Return True when ``label`` is one of the 78 supported semantic types."""
+    return label in TYPE_TO_INDEX
+
+
+def type_index(label: str) -> int:
+    """Return the class index of a semantic type label.
+
+    Raises :class:`UnknownSemanticTypeError` for labels outside the registry.
+    """
+    try:
+        return TYPE_TO_INDEX[label]
+    except KeyError as exc:
+        raise UnknownSemanticTypeError(label) from exc
+
+
+def type_name(index: int) -> str:
+    """Return the semantic type label for a class index."""
+    try:
+        return INDEX_TO_TYPE[int(index)]
+    except KeyError as exc:
+        raise UnknownSemanticTypeError(str(index)) from exc
+
+
+def filter_supported(labels: Iterable[str]) -> list[str]:
+    """Keep only the labels that are supported semantic types."""
+    return [label for label in labels if label in TYPE_TO_INDEX]

@@ -1,0 +1,100 @@
+"""Shared fixtures.
+
+Expensive objects (corpus, fitted featurizer, trained models) are
+session-scoped and use deliberately tiny configurations so the whole suite
+stays fast while still exercising every component end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.corpus import CorpusConfig, CorpusGenerator
+from repro.features import ColumnFeaturizer
+from repro.models import SatoConfig, SatoModel, TrainingConfig
+
+
+TINY_TRAINING = TrainingConfig(
+    n_epochs=6,
+    learning_rate=3e-3,
+    batch_size=32,
+    subnet_dim=16,
+    hidden_dim=32,
+    dropout=0.1,
+    seed=0,
+)
+
+
+def tiny_featurizer() -> ColumnFeaturizer:
+    """A small featurizer suitable for unit tests."""
+    return ColumnFeaturizer(word_dim=12, para_dim=8, seed=0)
+
+
+def tiny_sato_config(use_topic: bool, use_struct: bool) -> SatoConfig:
+    """A small Sato configuration for unit tests."""
+    return SatoConfig(
+        use_topic=use_topic,
+        use_struct=use_struct,
+        n_topics=6,
+        training=TINY_TRAINING,
+        crf_epochs=3,
+        seed=0,
+    )
+
+
+def make_tiny_model(use_topic: bool, use_struct: bool) -> SatoModel:
+    """Build an unfitted tiny Sato variant."""
+    model = SatoModel(
+        config=tiny_sato_config(use_topic, use_struct), featurizer=tiny_featurizer()
+    )
+    if use_topic:
+        model.column_model.intent_estimator.lda.n_iterations = 5
+        model.column_model.intent_estimator.lda.infer_iterations = 5
+    return model
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(123)
+
+
+@pytest.fixture(scope="session")
+def corpus_small():
+    """~90 tables, mixed singleton/multi-column, with noise."""
+    config = CorpusConfig(n_tables=90, seed=5, singleton_rate=0.3, max_rows=12)
+    return CorpusGenerator(config).generate()
+
+
+@pytest.fixture(scope="session")
+def multi_column_tables(corpus_small):
+    return [t for t in corpus_small if t.n_columns > 1]
+
+
+@pytest.fixture(scope="session")
+def train_test_tables(multi_column_tables):
+    split = int(len(multi_column_tables) * 0.8)
+    return multi_column_tables[:split], multi_column_tables[split:]
+
+
+@pytest.fixture(scope="session")
+def fitted_featurizer(multi_column_tables):
+    featurizer = tiny_featurizer()
+    featurizer.fit(multi_column_tables)
+    return featurizer
+
+
+@pytest.fixture(scope="session")
+def trained_base(train_test_tables):
+    train, _ = train_test_tables
+    model = make_tiny_model(use_topic=False, use_struct=False)
+    model.fit(train)
+    return model
+
+
+@pytest.fixture(scope="session")
+def trained_sato(train_test_tables):
+    train, _ = train_test_tables
+    model = make_tiny_model(use_topic=True, use_struct=True)
+    model.fit(train)
+    return model

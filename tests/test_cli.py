@@ -1,0 +1,70 @@
+"""Tests for the command line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.tables import Column, Table, table_to_csv, tables_from_jsonl
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_args(self):
+        args = build_parser().parse_args(["generate", "--out", "x.jsonl", "--n-tables", "7"])
+        assert args.command == "generate"
+        assert args.n_tables == 7
+
+    def test_evaluate_variant_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["evaluate", "--corpus", "c.jsonl", "--variant", "Nope"])
+
+
+class TestCommands:
+    def test_generate_writes_corpus(self, tmp_path, capsys):
+        out = tmp_path / "corpus.jsonl"
+        exit_code = main(["generate", "--n-tables", "12", "--out", str(out)])
+        assert exit_code == 0
+        assert len(tables_from_jsonl(out)) == 12
+        assert "wrote 12 tables" in capsys.readouterr().out
+
+    def test_evaluate_small_corpus(self, tmp_path, capsys):
+        out = tmp_path / "corpus.jsonl"
+        main(["generate", "--n-tables", "40", "--seed", "3", "--singleton-rate", "0.1", "--out", str(out)])
+        exit_code = main(
+            [
+                "evaluate",
+                "--corpus",
+                str(out),
+                "--variant",
+                "Base",
+                "--k",
+                "2",
+                "--epochs",
+                "3",
+                "--multi-column-only",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "macro F1" in output
+
+    def test_predict_on_csv(self, tmp_path, capsys):
+        corpus_path = tmp_path / "corpus.jsonl"
+        main(["generate", "--n-tables", "40", "--seed", "4", "--singleton-rate", "0.1", "--out", str(corpus_path)])
+        table = Table(
+            columns=[
+                Column(values=["Alice Smith", "Bob Jones"], header="who"),
+                Column(values=["Paris", "Rome"], header="where"),
+            ]
+        )
+        csv_path = tmp_path / "table.csv"
+        table_to_csv(table, csv_path)
+        exit_code = main(
+            ["predict", "--corpus", str(corpus_path), "--csv", str(csv_path), "--epochs", "3"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "->" in output
+        assert output.count("->") == 2

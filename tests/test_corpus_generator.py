@@ -1,0 +1,120 @@
+"""Tests for the corpus generator."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import CorpusConfig, CorpusGenerator, generate_corpus
+from repro.corpus.config import NoiseConfig
+from repro.corpus.schemas import schema_by_name
+from repro.types import TYPE_TO_INDEX
+
+
+class TestConfigValidation:
+    def test_default_is_valid(self):
+        CorpusConfig().validate()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_tables": 0},
+            {"min_rows": 0},
+            {"min_rows": 10, "max_rows": 5},
+            {"singleton_rate": 1.0},
+            {"schema_weight_power": 0},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            CorpusConfig(**kwargs).validate()
+
+
+class TestGeneration:
+    def test_table_count(self):
+        corpus = generate_corpus(n_tables=25, seed=3)
+        assert len(corpus) == 25
+
+    def test_determinism(self):
+        a = generate_corpus(n_tables=15, seed=9)
+        b = generate_corpus(n_tables=15, seed=9)
+        for table_a, table_b in zip(a, b):
+            assert table_a.labels == table_b.labels
+            assert [c.values for c in table_a.columns] == [c.values for c in table_b.columns]
+
+    def test_different_seeds_differ(self):
+        a = generate_corpus(n_tables=15, seed=1)
+        b = generate_corpus(n_tables=15, seed=2)
+        assert any(
+            ta.labels != tb.labels or
+            [c.values for c in ta.columns] != [c.values for c in tb.columns]
+            for ta, tb in zip(a, b)
+        )
+
+    def test_all_labels_valid(self, corpus_small):
+        for table in corpus_small:
+            for column in table.columns:
+                assert column.semantic_type in TYPE_TO_INDEX
+
+    def test_row_bounds_respected(self):
+        config = CorpusConfig(n_tables=30, min_rows=5, max_rows=7, seed=0)
+        for table in CorpusGenerator(config).generate():
+            assert 5 <= table.n_rows <= 7
+
+    def test_singleton_rate_zero(self):
+        config = CorpusConfig(n_tables=40, singleton_rate=0.0, seed=0)
+        corpus = CorpusGenerator(config).generate()
+        assert all(t.n_columns >= 2 for t in corpus)
+
+    def test_singleton_rate_high(self):
+        config = CorpusConfig(n_tables=60, singleton_rate=0.8, seed=0)
+        corpus = CorpusGenerator(config).generate()
+        fraction = sum(t.is_singleton for t in corpus) / len(corpus)
+        assert fraction > 0.5
+
+    def test_columns_have_equal_length_within_table(self, corpus_small):
+        for table in corpus_small:
+            lengths = {len(c) for c in table.columns}
+            assert len(lengths) == 1
+
+    def test_intent_metadata_recorded(self, corpus_small):
+        for table in corpus_small:
+            assert "intent" in table.metadata
+            schema = schema_by_name(table.metadata["intent"])
+            for label in table.labels:
+                assert label in schema.semantic_types
+
+    def test_column_order_follows_schema_order(self, corpus_small):
+        for table in corpus_small:
+            schema = schema_by_name(table.metadata["intent"])
+            order = {t: i for i, t in enumerate(schema.semantic_types)}
+            positions = [order[label] for label in table.labels]
+            assert positions == sorted(positions)
+
+    def test_table_ids_unique(self, corpus_small):
+        ids = [t.table_id for t in corpus_small]
+        assert len(set(ids)) == len(ids)
+
+    def test_clean_corpus_without_noise(self):
+        config = CorpusConfig(
+            n_tables=10,
+            seed=2,
+            noise=NoiseConfig(
+                missing_cell_rate=0,
+                typo_rate=0,
+                case_noise_rate=0,
+                whitespace_rate=0,
+                header_noise_rate=0,
+            ),
+        )
+        corpus = CorpusGenerator(config).generate()
+        for table in corpus:
+            for column in table.columns:
+                assert column.header == column.semantic_type
+                assert all(v.strip() for v in column.values)
+
+    def test_generator_requires_schemas(self):
+        with pytest.raises(ValueError):
+            CorpusGenerator(CorpusConfig(n_tables=5), schemas=())
+
+    def test_generate_overrides_count(self):
+        generator = CorpusGenerator(CorpusConfig(n_tables=50, seed=1))
+        assert len(generator.generate(5)) == 5

@@ -1,0 +1,105 @@
+"""Tests for the per-type value generators."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import generators, vocab
+from repro.types import SEMANTIC_TYPES
+
+
+class TestCoverage:
+    def test_every_type_has_a_generator(self):
+        assert generators.missing_generators() == []
+
+    def test_no_extra_generators(self):
+        assert set(generators.VALUE_GENERATORS) == set(SEMANTIC_TYPES)
+
+
+@pytest.mark.parametrize("semantic_type", SEMANTIC_TYPES)
+def test_generator_produces_nonempty_strings(semantic_type):
+    rng = np.random.default_rng(1)
+    for _ in range(5):
+        value = generators.generate_value(semantic_type, rng, {})
+        assert isinstance(value, str)
+        assert value.strip()
+
+
+def test_unknown_type_raises():
+    rng = np.random.default_rng(0)
+    with pytest.raises(KeyError):
+        generators.generate_value("population", rng)
+
+
+class TestDeterminism:
+    def test_same_seed_same_values(self):
+        a = [
+            generators.generate_value("city", np.random.default_rng(7), {})
+            for _ in range(10)
+        ]
+        b = [
+            generators.generate_value("city", np.random.default_rng(7), {})
+            for _ in range(10)
+        ]
+        assert a == b
+
+
+class TestEntities:
+    def test_person_fields(self):
+        person = generators.make_person(np.random.default_rng(3))
+        assert person["full"] == f"{person['first']} {person['last']}"
+        assert 1900 <= person["birth_year"] < 2005
+        assert person["birth_city"] in vocab.CITY_INFO
+        assert person["age"] >= 16
+
+    def test_place_consistency(self):
+        place = generators.make_place(np.random.default_rng(3))
+        info = vocab.CITY_INFO[place["city"]]
+        assert place["country"] == info[0]
+        assert place["continent"] == info[2]
+
+    def test_shared_context_keeps_row_coherent(self):
+        rng = np.random.default_rng(11)
+        context = {"person": generators.make_person(rng)}
+        name = generators.generate_value("name", rng, context)
+        age = generators.generate_value("age", rng, context)
+        assert name == context["person"]["full"]
+        assert int(age) == context["person"]["age"]
+
+    def test_place_context_links_city_and_country(self):
+        rng = np.random.default_rng(11)
+        context = {"place": generators.make_place(rng)}
+        city = generators.generate_value("city", rng, context)
+        country = generators.generate_value("country", rng, context)
+        assert city == context["place"]["city"]
+        assert country == vocab.CITY_INFO[city][0]
+
+
+class TestAmbiguity:
+    """The shared vocabularies that make single-column prediction ambiguous."""
+
+    def test_city_and_birthplace_share_values(self):
+        rng = np.random.default_rng(0)
+        cities = {generators.generate_value("city", rng, {}) for _ in range(200)}
+        birthplaces = {
+            generators.generate_value("birthPlace", rng, {}) for _ in range(200)
+        }
+        assert cities & birthplaces
+
+    def test_name_and_person_share_values_structure(self):
+        rng = np.random.default_rng(0)
+        names = [generators.generate_value("name", rng, {}) for _ in range(50)]
+        persons = [generators.generate_value("person", rng, {}) for _ in range(50)]
+        # Both are "First Last" strings drawn from the same vocabularies.
+        assert all(len(n.split()) == 2 for n in names)
+        assert all(len(p.split()) == 2 for p in persons)
+
+    def test_year_is_numeric_string(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            year = int(generators.generate_value("year", rng, {}))
+            assert 1900 <= year <= 2020
+
+    def test_isbn_contains_digits(self):
+        rng = np.random.default_rng(0)
+        value = generators.generate_value("isbn", rng, {})
+        assert any(ch.isdigit() for ch in value)

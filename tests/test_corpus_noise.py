@@ -1,0 +1,77 @@
+"""Tests for dirty-data injection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.corpus.config import NoiseConfig
+from repro.corpus.noise import apply_cell_noise, apply_header_noise, corrupt_value
+from repro.types import SEMANTIC_TYPES, canonicalize_header
+
+
+class TestCorruptValue:
+    def test_empty_string_unchanged(self):
+        assert corrupt_value("", np.random.default_rng(0)) == ""
+
+    def test_single_character_operations(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            original = "hello world"
+            corrupted = corrupt_value(original, rng)
+            assert abs(len(corrupted) - len(original)) <= 1
+
+    @given(st.text(min_size=1, max_size=20))
+    def test_never_raises(self, value):
+        corrupt_value(value, np.random.default_rng(1))
+
+
+class TestCellNoise:
+    def test_zero_rates_are_identity(self):
+        noise = NoiseConfig(
+            missing_cell_rate=0, typo_rate=0, case_noise_rate=0, whitespace_rate=0
+        )
+        rng = np.random.default_rng(0)
+        assert apply_cell_noise("Florence", noise, rng) == "Florence"
+
+    def test_full_missing_rate_empties_cells(self):
+        noise = NoiseConfig(missing_cell_rate=1.0)
+        rng = np.random.default_rng(0)
+        values = {apply_cell_noise("Florence", noise, rng) for _ in range(30)}
+        assert values <= {"", "N/A", "-", "null", "unknown"}
+
+    def test_case_noise_changes_case_only(self):
+        noise = NoiseConfig(
+            missing_cell_rate=0, typo_rate=0, case_noise_rate=1.0, whitespace_rate=0
+        )
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            result = apply_cell_noise("Florence", noise, rng)
+            assert result.lower() == "florence"
+
+
+class TestHeaderNoise:
+    def test_zero_rate_keeps_header(self):
+        noise = NoiseConfig(header_noise_rate=0.0)
+        rng = np.random.default_rng(0)
+        assert apply_header_noise("birthPlace", noise, rng) == "birthPlace"
+
+    @pytest.mark.parametrize("semantic_type", SEMANTIC_TYPES)
+    def test_noisy_header_still_canonicalises_to_type(self, semantic_type):
+        noise = NoiseConfig(header_noise_rate=1.0)
+        rng = np.random.default_rng(3)
+        for _ in range(5):
+            noisy = apply_header_noise(semantic_type, noise, rng)
+            assert canonicalize_header(noisy) == semantic_type
+
+
+class TestNoiseConfigValidation:
+    def test_valid_config_passes(self):
+        NoiseConfig().validate()
+
+    @pytest.mark.parametrize(
+        "field", ["missing_cell_rate", "typo_rate", "case_noise_rate", "whitespace_rate"]
+    )
+    def test_out_of_range_rejected(self, field):
+        config = NoiseConfig(**{field: 1.5})
+        with pytest.raises(ValueError):
+            config.validate()

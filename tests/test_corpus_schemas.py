@@ -1,0 +1,69 @@
+"""Tests for the table intent schemas."""
+
+import pytest
+
+from repro.corpus.schemas import (
+    DEFAULT_SCHEMAS,
+    ColumnSlot,
+    TableSchema,
+    schema_by_name,
+    uncovered_types,
+)
+from repro.types import SEMANTIC_TYPES
+
+
+class TestSchemaLibrary:
+    def test_all_types_covered(self):
+        assert uncovered_types() == []
+
+    def test_slot_types_are_registered(self):
+        for schema in DEFAULT_SCHEMAS:
+            for slot in schema.slots:
+                assert slot.semantic_type in SEMANTIC_TYPES
+
+    def test_probabilities_valid(self):
+        for schema in DEFAULT_SCHEMAS:
+            for slot in schema.slots:
+                assert 0.0 < slot.probability <= 1.0
+
+    def test_weights_positive(self):
+        assert all(schema.weight > 0 for schema in DEFAULT_SCHEMAS)
+
+    def test_min_columns_satisfiable(self):
+        for schema in DEFAULT_SCHEMAS:
+            assert 1 <= schema.min_columns <= len(schema.slots)
+
+    def test_reasonable_library_size(self):
+        assert len(DEFAULT_SCHEMAS) >= 30
+
+    def test_schema_names_unique(self):
+        names = [schema.name for schema in DEFAULT_SCHEMAS]
+        assert len(set(names)) == len(names)
+
+    def test_weights_are_long_tailed(self):
+        weights = sorted((schema.weight for schema in DEFAULT_SCHEMAS), reverse=True)
+        assert weights[0] >= 3 * weights[-1]
+
+    def test_head_types_appear_in_many_schemas(self):
+        count = sum(1 for s in DEFAULT_SCHEMAS if "name" in s.semantic_types)
+        assert count >= 5
+
+    def test_tail_types_appear_in_few_schemas(self):
+        count = sum(1 for s in DEFAULT_SCHEMAS if "organisation" in s.semantic_types)
+        assert count <= 2
+
+
+class TestLookup:
+    def test_schema_by_name(self):
+        schema = schema_by_name("people_biography")
+        assert "name" in schema.semantic_types
+
+    def test_schema_by_name_unknown(self):
+        with pytest.raises(KeyError):
+            schema_by_name("does_not_exist")
+
+    def test_semantic_types_property(self):
+        schema = TableSchema(
+            name="x", slots=(ColumnSlot("city", 1.0), ColumnSlot("country", 0.5))
+        )
+        assert schema.semantic_types == ["city", "country"]

@@ -1,0 +1,97 @@
+"""Tests for dataset containers and cross-validation splits."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.corpus import Dataset, kfold_split, multi_column_only, train_test_split
+from repro.tables import Column, Table
+
+
+def _tables(n, n_columns=2):
+    return [
+        Table(
+            columns=[
+                Column(values=["v"], semantic_type="name") for _ in range(n_columns)
+            ],
+            table_id=f"t{i}",
+        )
+        for i in range(n)
+    ]
+
+
+class TestDataset:
+    def test_counts(self, corpus_small):
+        dataset = Dataset(tables=corpus_small, name="D")
+        assert len(dataset) == len(corpus_small)
+        assert dataset.n_columns == sum(t.n_columns for t in corpus_small)
+        assert dataset.n_labeled_columns == dataset.n_columns
+
+    def test_multi_column_view(self, corpus_small):
+        dataset = Dataset(tables=corpus_small, name="D")
+        dmult = dataset.multi_column()
+        assert dmult.name == "Dmult"
+        assert all(t.n_columns > 1 for t in dmult.tables)
+        assert len(dmult) <= len(dataset)
+
+    def test_multi_column_only_function(self, corpus_small):
+        filtered = multi_column_only(corpus_small)
+        assert all(t.n_columns > 1 for t in filtered)
+
+
+class TestTrainTestSplit:
+    def test_partition(self):
+        tables = _tables(20)
+        train, test = train_test_split(tables, test_fraction=0.25, seed=1)
+        assert len(train) + len(test) == 20
+        assert len(test) == 5
+        train_ids = {t.table_id for t in train}
+        test_ids = {t.table_id for t in test}
+        assert not train_ids & test_ids
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            train_test_split(_tables(5), test_fraction=0.0)
+
+    def test_deterministic(self):
+        tables = _tables(12)
+        a = train_test_split(tables, seed=3)
+        b = train_test_split(tables, seed=3)
+        assert [t.table_id for t in a[1]] == [t.table_id for t in b[1]]
+
+
+class TestKFold:
+    def test_every_table_tested_once(self):
+        tables = _tables(23)
+        splits = kfold_split(tables, k=5, seed=0)
+        tested = [t.table_id for split in splits for t in split.test]
+        assert sorted(tested) == sorted(t.table_id for t in tables)
+        assert len(tested) == len(set(tested))
+
+    def test_train_test_disjoint_per_fold(self):
+        for split in kfold_split(_tables(17), k=4, seed=2):
+            train_ids = {t.table_id for t in split.train}
+            test_ids = {t.table_id for t in split.test}
+            assert not train_ids & test_ids
+            assert len(train_ids) + len(test_ids) == 17
+
+    def test_fold_sizes_balanced(self):
+        splits = kfold_split(_tables(22), k=5, seed=0)
+        sizes = [len(s.test) for s in splits]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            kfold_split(_tables(10), k=1)
+        with pytest.raises(ValueError):
+            kfold_split(_tables(3), k=5)
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(min_value=6, max_value=40), k=st.integers(min_value=2, max_value=6))
+    def test_property_partition(self, n, k):
+        if n < k:
+            return
+        splits = kfold_split(_tables(n), k=k, seed=1)
+        assert len(splits) == k
+        tested = [t.table_id for split in splits for t in split.test]
+        assert len(tested) == n
+        assert len(set(tested)) == n

@@ -1,0 +1,81 @@
+"""Tests for corpus statistics (Figure 5 / Figure 6 data)."""
+
+import numpy as np
+
+from repro.corpus.statistics import (
+    adjacent_cooccurrence_matrix,
+    cooccurrence_matrix,
+    log_cooccurrence,
+    top_cooccurring_pairs,
+    type_counts,
+)
+from repro.tables import Column, Table
+from repro.types import NUM_TYPES, TYPE_TO_INDEX
+
+
+def _table(*labels):
+    return Table(columns=[Column(values=["x"], semantic_type=t) for t in labels])
+
+
+class TestTypeCounts:
+    def test_counts_simple(self):
+        counts = type_counts([_table("city", "country"), _table("city")])
+        assert counts["city"] == 2
+        assert counts["country"] == 1
+
+    def test_counts_corpus_long_tail(self, corpus_small):
+        counts = type_counts(corpus_small)
+        values = sorted(counts.values(), reverse=True)
+        assert values[0] >= 3 * values[-1]
+
+    def test_unlabeled_columns_ignored(self):
+        table = Table(columns=[Column(values=["x"]), Column(values=["y"], semantic_type="city")])
+        assert type_counts([table])["city"] == 1
+        assert sum(type_counts([table]).values()) == 1
+
+
+class TestCooccurrence:
+    def test_symmetric(self, corpus_small):
+        matrix = cooccurrence_matrix(corpus_small)
+        assert matrix.shape == (NUM_TYPES, NUM_TYPES)
+        assert np.allclose(matrix, matrix.T)
+
+    def test_simple_pair(self):
+        matrix = cooccurrence_matrix([_table("city", "state")])
+        i, j = TYPE_TO_INDEX["city"], TYPE_TO_INDEX["state"]
+        assert matrix[i, j] == 1
+        assert matrix[j, i] == 1
+
+    def test_diagonal_counts_repeated_types(self):
+        matrix = cooccurrence_matrix([_table("name", "name")])
+        i = TYPE_TO_INDEX["name"]
+        assert matrix[i, i] == 1
+
+    def test_adjacent_only_counts_neighbours(self):
+        matrix = adjacent_cooccurrence_matrix([_table("city", "state", "country")])
+        city, state, country = (
+            TYPE_TO_INDEX["city"],
+            TYPE_TO_INDEX["state"],
+            TYPE_TO_INDEX["country"],
+        )
+        assert matrix[city, state] == 1
+        assert matrix[state, country] == 1
+        assert matrix[city, country] == 0
+
+    def test_adjacent_subset_of_full(self, corpus_small):
+        full = cooccurrence_matrix(corpus_small)
+        adjacent = adjacent_cooccurrence_matrix(corpus_small)
+        assert np.all(adjacent <= full + 1e-9)
+
+    def test_log_cooccurrence_monotone(self):
+        matrix = np.array([[0.0, 3.0], [3.0, 1.0]])
+        logged = log_cooccurrence(matrix)
+        assert logged[0, 0] == 0.0
+        assert logged[0, 1] > logged[1, 1] > 0
+
+    def test_top_pairs_sorted(self, corpus_small):
+        matrix = cooccurrence_matrix(corpus_small)
+        pairs = top_cooccurring_pairs(matrix, k=5)
+        counts = [count for _, _, count in pairs]
+        assert counts == sorted(counts, reverse=True)
+        assert len(pairs) <= 5

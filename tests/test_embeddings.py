@@ -1,0 +1,189 @@
+"""Tests for the embedding substrate (tokenizer, vocabulary, word2vec, paragraph, hashing)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.embeddings import (
+    HashingEmbedder,
+    ParagraphEmbedder,
+    Vocabulary,
+    WordEmbeddingModel,
+    tokenize,
+    tokenize_values,
+)
+from repro.embeddings.tokenizer import number_shape_token
+
+
+class TestTokenizer:
+    def test_basic(self):
+        assert tokenize("New York") == ["new", "york"]
+
+    def test_numbers_become_shape_tokens(self):
+        assert tokenize("42") == ["<num2>"]
+        assert tokenize("2020") == ["<num4>"]
+        assert tokenize("1234567") == ["<numlong>"]
+        assert tokenize("7") == ["<num1>"]
+
+    def test_mixed_content(self):
+        assert tokenize("Room 12-B") == ["room", "<num2>", "b"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+        assert tokenize(None) == []
+
+    def test_tokenize_values_flattens(self):
+        assert tokenize_values(["a b", "c"]) == ["a", "b", "c"]
+
+    def test_number_shape_buckets(self):
+        assert number_shape_token("1") == "<num1>"
+        assert number_shape_token("12") == "<num2>"
+        assert number_shape_token("1234") == "<num4>"
+        assert number_shape_token("12345") == "<numlong>"
+
+    @given(st.text(max_size=40))
+    def test_tokens_are_lowercase_or_shape(self, text):
+        for token in tokenize(text):
+            assert token.startswith("<num") or token == token.lower()
+
+
+class TestVocabulary:
+    def test_min_count_filtering(self):
+        vocabulary = Vocabulary(min_count=2)
+        vocabulary.add(["a", "a", "b"])
+        vocabulary.finalize()
+        assert "a" in vocabulary
+        assert "b" not in vocabulary
+
+    def test_max_size_keeps_most_frequent(self):
+        vocabulary = Vocabulary(min_count=1, max_size=1)
+        vocabulary.add(["a", "a", "b"])
+        vocabulary.finalize()
+        assert len(vocabulary) == 1
+        assert "a" in vocabulary
+
+    def test_encode_drops_oov(self):
+        vocabulary = Vocabulary.from_documents([["a", "b"], ["a"]], min_count=1)
+        ids = vocabulary.encode(["a", "z", "b"])
+        assert len(ids) == 2
+
+    def test_token_id_round_trip(self):
+        vocabulary = Vocabulary.from_documents([["x", "y", "z"]], min_count=1)
+        for token in ["x", "y", "z"]:
+            assert vocabulary.token(vocabulary.get(token)) == token
+
+    def test_add_after_finalize_raises(self):
+        vocabulary = Vocabulary.from_documents([["a"]], min_count=1)
+        with pytest.raises(RuntimeError):
+            vocabulary.add(["b"])
+
+    def test_invalid_min_count(self):
+        with pytest.raises(ValueError):
+            Vocabulary(min_count=0)
+
+
+class TestWordEmbeddings:
+    @pytest.fixture(scope="class")
+    def model(self):
+        documents = [
+            ["paris", "france", "europe"],
+            ["rome", "italy", "europe"],
+            ["paris", "france", "city"],
+            ["rome", "italy", "city"],
+            ["tokyo", "japan", "asia"],
+            ["tokyo", "japan", "city"],
+        ] * 5
+        return WordEmbeddingModel(dim=8, min_count=1, seed=0).fit(documents)
+
+    def test_vector_shape(self, model):
+        assert model.vector("paris").shape == (8,)
+
+    def test_oov_vector_is_zero(self, model):
+        assert np.allclose(model.vector("unknowntoken"), 0.0)
+
+    def test_mean_vector(self, model):
+        mean = model.mean_vector(["paris", "rome"])
+        assert mean.shape == (8,)
+        assert not np.allclose(mean, 0.0)
+
+    def test_mean_vector_all_oov_is_zero(self, model):
+        assert np.allclose(model.mean_vector(["zzz", "qqq"]), 0.0)
+
+    def test_cooccurring_tokens_are_similar(self, model):
+        similar = dict(model.most_similar("paris", k=3))
+        assert "france" in similar
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            WordEmbeddingModel().vector("a")
+
+    def test_empty_corpus(self):
+        model = WordEmbeddingModel(dim=4).fit([])
+        assert model.vector("anything").shape == (4,)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            WordEmbeddingModel(dim=0)
+        with pytest.raises(ValueError):
+            WordEmbeddingModel(window=0)
+
+
+class TestParagraphEmbedder:
+    def test_embedding_shape_and_projection(self):
+        documents = [["alpha", "beta"], ["beta", "gamma"], ["alpha", "gamma"]] * 3
+        word_model = WordEmbeddingModel(dim=6, min_count=1).fit(documents)
+        embedder = ParagraphEmbedder(word_model, dim=4).fit(documents)
+        vector = embedder.embed(["alpha", "beta"])
+        assert vector.shape == (4,)
+
+    def test_same_dim_no_projection(self):
+        documents = [["alpha", "beta"], ["beta", "gamma"]] * 3
+        word_model = WordEmbeddingModel(dim=6, min_count=1).fit(documents)
+        embedder = ParagraphEmbedder(word_model).fit(documents)
+        assert embedder.embed(["alpha"]).shape == (6,)
+
+    def test_unfitted_raises(self):
+        word_model = WordEmbeddingModel(dim=4, min_count=1).fit([["a", "b"]])
+        embedder = ParagraphEmbedder(word_model)
+        with pytest.raises(RuntimeError):
+            embedder.embed(["a"])
+
+    def test_empty_document_gives_zero(self):
+        documents = [["a", "b"]] * 3
+        word_model = WordEmbeddingModel(dim=4, min_count=1).fit(documents)
+        embedder = ParagraphEmbedder(word_model).fit(documents)
+        assert np.allclose(embedder.embed([]), 0.0)
+
+
+class TestHashingEmbedder:
+    def test_deterministic(self):
+        a = HashingEmbedder(dim=8, seed=1).vector("hello")
+        b = HashingEmbedder(dim=8, seed=1).vector("hello")
+        assert np.allclose(a, b)
+
+    def test_different_tokens_differ(self):
+        embedder = HashingEmbedder(dim=16)
+        assert not np.allclose(embedder.vector("hello"), embedder.vector("world"))
+
+    def test_empty_token(self):
+        assert np.allclose(HashingEmbedder(dim=8).vector(""), 0.0)
+
+    def test_mean_vector(self):
+        embedder = HashingEmbedder(dim=8)
+        assert embedder.mean_vector(["a", "b"]).shape == (8,)
+        assert np.allclose(embedder.mean_vector([]), 0.0)
+
+    def test_embed_sequence_truncation(self):
+        embedder = HashingEmbedder(dim=8)
+        matrix = embedder.embed_sequence(["a", "b", "c", "d"], max_len=2)
+        assert matrix.shape == (2, 8)
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            HashingEmbedder(dim=0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.text(min_size=1, max_size=15))
+    def test_vectors_are_finite(self, token):
+        vector = HashingEmbedder(dim=8).vector(token)
+        assert np.all(np.isfinite(vector))

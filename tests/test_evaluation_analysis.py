@@ -1,0 +1,205 @@
+"""Tests for evaluation analyses: per-type comparison, importance, timing,
+t-SNE, embeddings, qualitative corrections and cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import (
+    cluster_separation,
+    collect_column_embeddings,
+    evaluate_model_cv,
+    find_corrections,
+    pca_project,
+    per_type_comparison,
+    permutation_importance,
+    time_model,
+    tsne_project,
+)
+from repro.evaluation.cross_validation import collect_predictions
+from repro.evaluation.embeddings import project_jointly
+from repro.evaluation.qualitative import CorrectionExample
+from repro.tables import Column, Table
+
+from conftest import make_tiny_model
+
+
+class TestPerTypeComparison:
+    def test_comparison_fields(self):
+        comparison = per_type_comparison(
+            ["a", "b", "a"], ["a", "b", "b"],
+            ["a", "b", "a"], ["a", "a", "a"],
+            name_a="ModelA", name_b="ModelB",
+        )
+        assert comparison.model_a == "ModelA"
+        assert set(comparison.types) == {"a", "b"}
+        assert comparison.delta("b") > 0
+        assert "b" in comparison.improved_types
+
+    def test_identical_models_unchanged(self):
+        comparison = per_type_comparison(["a", "b"], ["a", "b"], ["a", "b"], ["a", "b"])
+        assert comparison.improved_types == []
+        assert comparison.degraded_types == []
+        assert set(comparison.unchanged_types) == {"a", "b"}
+
+
+class TestCollectPredictions:
+    def test_alignment(self, trained_base, train_test_tables):
+        _, test = train_test_tables
+        y_true, y_pred = collect_predictions(trained_base, test)
+        assert len(y_true) == len(y_pred)
+        assert len(y_true) == sum(t.n_columns for t in test)
+
+
+class TestCrossValidation:
+    def test_cv_runs_and_aggregates(self, multi_column_tables):
+        result = evaluate_model_cv(
+            lambda: make_tiny_model(use_topic=False, use_struct=False),
+            multi_column_tables[:30],
+            k=2,
+            model_name="Base",
+        )
+        assert result.model_name == "Base"
+        assert len(result.folds) == 2
+        assert 0.0 <= result.macro_f1 <= 1.0
+        assert 0.0 <= result.weighted_f1 <= 1.0
+        assert result.confidence_interval("macro") >= 0.0
+        y_true, y_pred = result.pooled_true_pred()
+        assert len(y_true) == len(y_pred) > 0
+
+
+class TestPermutationImportance:
+    def test_groups_and_scores(self, trained_base, train_test_tables):
+        _, test = train_test_tables
+        importances = permutation_importance(trained_base, test, n_repeats=1, seed=0)
+        assert set(importances) == {"char", "word", "para", "stat"}
+        for importance in importances.values():
+            assert np.isfinite(importance.macro_drop)
+            assert np.isfinite(importance.weighted_drop)
+
+    def test_topic_group_for_sato(self, trained_sato, train_test_tables):
+        _, test = train_test_tables
+        importances = permutation_importance(trained_sato, test, n_repeats=1, seed=0)
+        assert "topic" in importances
+
+    def test_unsupported_model_raises(self):
+        with pytest.raises(TypeError):
+            permutation_importance(object(), [])
+
+
+class TestTiming:
+    def test_time_model_records_trials(self, train_test_tables):
+        train, test = train_test_tables
+        result = time_model(
+            lambda: make_tiny_model(use_topic=False, use_struct=False),
+            train[:10],
+            test[:5],
+            n_trials=1,
+        )
+        assert len(result.train_times) == 1
+        assert result.train_time[0] > 0
+        assert result.predict_time[0] >= 0
+        assert result.crf_train_times == []
+
+    def test_sato_crf_time_measured_separately(self, train_test_tables):
+        train, test = train_test_tables
+        result = time_model(
+            lambda: make_tiny_model(use_topic=False, use_struct=True),
+            train[:10],
+            test[:5],
+            n_trials=1,
+        )
+        assert len(result.crf_train_times) == 1
+
+
+class TestProjections:
+    def test_pca_shape(self):
+        data = np.random.default_rng(0).normal(size=(20, 6))
+        assert pca_project(data).shape == (20, 2)
+
+    def test_pca_single_point(self):
+        assert pca_project(np.zeros((1, 4))).shape == (1, 2)
+
+    def test_tsne_shape(self):
+        data = np.random.default_rng(0).normal(size=(25, 5))
+        projected = tsne_project(data, n_iterations=50)
+        assert projected.shape == (25, 2)
+        assert np.all(np.isfinite(projected))
+
+    def test_tsne_small_input_falls_back(self):
+        data = np.random.default_rng(0).normal(size=(3, 4))
+        assert tsne_project(data).shape == (3, 2)
+
+    def test_tsne_separates_clear_clusters(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(loc=0.0, scale=0.1, size=(15, 5))
+        b = rng.normal(loc=8.0, scale=0.1, size=(15, 5))
+        projected = tsne_project(np.vstack([a, b]), n_iterations=150, seed=1)
+        center_a = projected[:15].mean(axis=0)
+        center_b = projected[15:].mean(axis=0)
+        spread = max(projected[:15].std(), projected[15:].std(), 1e-6)
+        assert np.linalg.norm(center_a - center_b) > spread
+
+
+class TestClusterSeparation:
+    def test_well_separated_scores_high(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(loc=0.0, scale=0.1, size=(10, 3))
+        b = rng.normal(loc=5.0, scale=0.1, size=(10, 3))
+        embeddings = np.vstack([a, b])
+        labels = ["x"] * 10 + ["y"] * 10
+        assert cluster_separation(embeddings, labels) > 0.8
+
+    def test_mixed_clusters_score_low(self):
+        rng = np.random.default_rng(0)
+        embeddings = rng.normal(size=(30, 3))
+        labels = ["x", "y"] * 15
+        assert abs(cluster_separation(embeddings, labels)) < 0.3
+
+    def test_single_class_returns_zero(self):
+        assert cluster_separation(np.zeros((5, 2)), ["x"] * 5) == 0.0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            cluster_separation(np.zeros((3, 2)), ["x"])
+
+
+class TestCollectEmbeddings:
+    def test_collects_only_requested_types(self, trained_base, train_test_tables):
+        _, test = train_test_tables
+        embedding_set = collect_column_embeddings(
+            trained_base, test, types=("name", "city")
+        )
+        assert set(embedding_set.labels) <= {"name", "city"}
+        assert embedding_set.embeddings.shape[0] == len(embedding_set.labels)
+
+    def test_project_jointly_shapes(self, trained_base, trained_sato, train_test_tables):
+        _, test = train_test_tables
+        set_a = collect_column_embeddings(trained_sato.column_model, test, types=("name", "city", "age"))
+        set_b = collect_column_embeddings(trained_base.column_model, test, types=("name", "city", "age"))
+        if len(set_a) and len(set_b):
+            projected_a, projected_b = project_jointly(set_a, set_b)
+            assert projected_a.shape == (len(set_a), 2)
+            assert projected_b.shape == (len(set_b), 2)
+
+
+class TestQualitative:
+    def test_correction_example_counts(self):
+        example = CorrectionExample(
+            table_id="t",
+            true_types=["code", "name", "city"],
+            before=["symbol", "team", "city"],
+            after=["code", "name", "city"],
+        )
+        assert example.n_corrected == 2
+        assert example.n_broken == 0
+
+    def test_find_corrections_runs(self, trained_base, trained_sato, train_test_tables):
+        _, test = train_test_tables
+        examples = find_corrections(trained_base, trained_sato, test, max_examples=5)
+        for example in examples:
+            assert example.n_corrected > example.n_broken
+            assert len(example.before) == len(example.after) == len(example.true_types)
+
+    def test_identical_models_produce_no_corrections(self, trained_base, train_test_tables):
+        _, test = train_test_tables
+        assert find_corrections(trained_base, trained_base, test) == []

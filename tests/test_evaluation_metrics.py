@@ -1,0 +1,135 @@
+"""Tests for the classification metrics."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.evaluation import (
+    classification_report,
+    f1_scores,
+    macro_f1,
+    support_weighted_f1,
+)
+
+
+class TestClassificationReport:
+    def test_perfect_predictions(self):
+        labels = ["city", "name", "city", "year"]
+        report = classification_report(labels, labels)
+        assert report.macro_f1 == pytest.approx(1.0)
+        assert report.weighted_f1 == pytest.approx(1.0)
+        assert report.accuracy == pytest.approx(1.0)
+
+    def test_all_wrong(self):
+        report = classification_report(["city", "city"], ["name", "name"])
+        assert report.macro_f1 == pytest.approx(0.0)
+        assert report.weighted_f1 == pytest.approx(0.0)
+
+    def test_known_values(self):
+        y_true = ["a", "a", "a", "b"]
+        y_pred = ["a", "a", "b", "b"]
+        report = classification_report(y_true, y_pred)
+        # type a: precision 1.0, recall 2/3 -> F1 = 0.8
+        assert report.per_type["a"].f1 == pytest.approx(0.8)
+        # type b: precision 0.5, recall 1.0 -> F1 = 2/3
+        assert report.per_type["b"].f1 == pytest.approx(2 / 3)
+        assert report.macro_f1 == pytest.approx((0.8 + 2 / 3) / 2)
+        assert report.weighted_f1 == pytest.approx((0.8 * 3 + (2 / 3) * 1) / 4)
+        assert report.accuracy == pytest.approx(0.75)
+
+    def test_weighted_emphasises_frequent_types(self):
+        y_true = ["a"] * 9 + ["b"]
+        y_pred = ["a"] * 9 + ["c"]
+        report = classification_report(y_true, y_pred)
+        assert report.weighted_f1 > report.macro_f1
+
+    def test_macro_emphasises_rare_types(self):
+        # Frequent type perfect, rare type missed entirely.
+        y_true = ["a"] * 9 + ["b"]
+        y_pred = ["a"] * 10
+        report = classification_report(y_true, y_pred)
+        # type a: precision 0.9, recall 1.0 -> F1 = 18/19; type b: F1 = 0.
+        f1_a = 2 * 0.9 * 1.0 / 1.9
+        assert report.macro_f1 == pytest.approx(f1_a / 2)
+        assert report.macro_f1 < report.weighted_f1
+
+    def test_support_counts(self):
+        report = classification_report(["a", "a", "b"], ["a", "b", "b"])
+        assert report.per_type["a"].support == 2
+        assert report.per_type["b"].support == 1
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            classification_report(["a"], ["a", "b"])
+
+    def test_empty_inputs(self):
+        report = classification_report([], [])
+        assert report.macro_f1 == 0.0
+        assert report.n_samples == 0
+
+    def test_predicted_only_types_ignored_in_averages(self):
+        # "c" never appears in y_true: it has no support and is excluded.
+        report = classification_report(["a", "b"], ["a", "c"])
+        assert "c" not in report.per_type
+        assert report.macro_f1 == pytest.approx(0.5)
+
+    def test_explicit_type_list(self):
+        report = classification_report(["a", "b"], ["a", "b"], types=["a", "b", "z"])
+        assert report.per_type["z"].support == 0
+        assert report.macro_f1 == pytest.approx(1.0)
+
+    def test_f1_lookup_helper(self):
+        report = classification_report(["a"], ["a"])
+        assert report.f1("a") == pytest.approx(1.0)
+        assert report.f1("zzz") == 0.0
+
+    def test_helper_functions(self):
+        y_true, y_pred = ["a", "b", "a"], ["a", "b", "b"]
+        scores = f1_scores(y_true, y_pred)
+        assert set(scores) == {"a", "b"}
+        assert macro_f1(y_true, y_pred) == classification_report(y_true, y_pred).macro_f1
+        assert support_weighted_f1(y_true, y_pred) == pytest.approx(
+            classification_report(y_true, y_pred).weighted_f1
+        )
+
+
+class TestMetricProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.sampled_from(["city", "name", "year", "age"]), min_size=1, max_size=40
+        ),
+        st.lists(
+            st.sampled_from(["city", "name", "year", "age"]), min_size=1, max_size=40
+        ),
+    )
+    def test_scores_bounded(self, y_true, y_pred):
+        n = min(len(y_true), len(y_pred))
+        report = classification_report(y_true[:n], y_pred[:n])
+        assert 0.0 <= report.macro_f1 <= 1.0
+        assert 0.0 <= report.weighted_f1 <= 1.0
+        assert 0.0 <= report.accuracy <= 1.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.sampled_from(["a", "b", "c"]), min_size=1, max_size=30))
+    def test_perfect_prediction_scores_one(self, labels):
+        report = classification_report(labels, labels)
+        assert report.macro_f1 == pytest.approx(1.0)
+        assert report.weighted_f1 == pytest.approx(1.0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.sampled_from(["a", "b", "c"]), min_size=2, max_size=30),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_permutation_invariance(self, labels, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        predictions = [labels[(i + 1) % len(labels)] for i in range(len(labels))]
+        order = rng.permutation(len(labels))
+        report_a = classification_report(labels, predictions)
+        report_b = classification_report(
+            [labels[i] for i in order], [predictions[i] for i in order]
+        )
+        assert report_a.macro_f1 == pytest.approx(report_b.macro_f1)
+        assert report_a.weighted_f1 == pytest.approx(report_b.weighted_f1)

@@ -1,0 +1,100 @@
+"""Tests for the experiment harness (configs, pipeline, reporting, ablations)."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, build_corpus, make_model_factories, reporting
+from repro.experiments.pipeline import MODEL_VARIANTS
+
+
+class TestExperimentConfig:
+    def test_presets_are_hashable_and_distinct(self):
+        assert hash(ExperimentConfig.tiny()) != hash(ExperimentConfig.fast())
+        assert ExperimentConfig.tiny() == ExperimentConfig.tiny()
+
+    def test_paper_preset_documents_paper_scale(self):
+        paper = ExperimentConfig.paper()
+        assert paper.n_tables == 80000
+        assert paper.n_topics == 400
+        assert paper.k_folds == 5
+        assert paper.nn_epochs == 100
+
+    def test_tiny_smaller_than_fast(self):
+        tiny, fast = ExperimentConfig.tiny(), ExperimentConfig.fast()
+        assert tiny.n_tables < fast.n_tables
+        assert tiny.nn_epochs < fast.nn_epochs
+
+
+class TestPipeline:
+    def test_build_corpus_size(self):
+        config = ExperimentConfig.tiny()
+        dataset = build_corpus(config)
+        assert len(dataset) == config.n_tables
+        assert dataset.name == "D"
+        assert len(dataset.multi_column()) < len(dataset)
+
+    def test_factories_cover_all_variants(self):
+        factories = make_model_factories(ExperimentConfig.tiny())
+        assert set(factories) == set(MODEL_VARIANTS)
+        for name, factory in factories.items():
+            model = factory()
+            assert model.name == name
+
+    def test_factory_settings_propagate(self):
+        config = ExperimentConfig.tiny()
+        model = make_model_factories(config)["Sato"]()
+        assert model.config.n_topics == config.n_topics
+        assert model.config.training.n_epochs == config.nn_epochs
+        assert model.column_model.intent_estimator.lda.n_iterations == config.lda_iterations
+
+
+class TestReporting:
+    def test_format_figure5(self):
+        text = reporting.format_figure5({"name": 50, "city": 20, "isbn": 1})
+        assert "name" in text and "#" in text
+
+    def test_format_figure6(self, corpus_small):
+        from repro.corpus.statistics import cooccurrence_matrix
+
+        text = reporting.format_figure6(cooccurrence_matrix(corpus_small), k=5)
+        assert text.startswith("Figure 6")
+
+    def test_format_table3(self):
+        from repro.topic.analysis import TopicSummary
+
+        text = reporting.format_table3(
+            [TopicSummary(topic=3, saliency=0.5, top_types=["city", "country"])]
+        )
+        assert "topic #3" in text
+
+    def test_format_table4(self):
+        from repro.evaluation.qualitative import CorrectionExample
+
+        example = CorrectionExample(
+            table_id="t1", true_types=["code"], before=["symbol"], after=["code"]
+        )
+        text = reporting.format_table4({"base_to_notopic": [example], "nostruct_to_sato": []})
+        assert "t1" in text
+
+    def test_format_per_type_figure(self):
+        from repro.evaluation.per_type import per_type_comparison
+
+        comparison = per_type_comparison(
+            ["a", "b"], ["a", "b"], ["a", "b"], ["a", "a"], name_a="Sato", name_b="Base"
+        )
+        text = reporting.format_per_type_figure(comparison, "Figure 7a")
+        assert "Figure 7a" in text
+        assert "improved types" in text
+
+    def test_format_ablation(self):
+        from repro.experiments.ablations import AblationPoint
+
+        text = reporting.format_ablation(
+            [AblationPoint("topics=4", 0.5, 0.6)], "Ablation: topics"
+        )
+        assert "topics=4" in text
+
+    def test_format_learned_repr(self):
+        text = reporting.format_learned_repr(
+            {"Base": {"macro_f1": 0.5, "weighted_f1": 0.6}}
+        )
+        assert "Base" in text

@@ -1,0 +1,44 @@
+"""Tests for the extensibility path: plugging an external column model into Sato."""
+
+import pytest
+
+from repro.models import SatoConfig, SatoModel
+from repro.types import SEMANTIC_TYPES
+
+from conftest import TINY_TRAINING
+
+
+class TestFitStructured:
+    def test_requires_struct_enabled(self, trained_base):
+        model = SatoModel(
+            config=SatoConfig(use_topic=False, use_struct=False, training=TINY_TRAINING),
+            column_model=trained_base.column_model,
+        )
+        with pytest.raises(ValueError):
+            model.fit_structured([])
+
+    def test_trains_crf_over_external_column_model(self, trained_base, train_test_tables):
+        train, test = train_test_tables
+        hybrid = SatoModel(
+            config=SatoConfig(
+                use_topic=False, use_struct=True, training=TINY_TRAINING, crf_epochs=2
+            ),
+            column_model=trained_base.column_model,
+        )
+        hybrid.fit_structured(train[:20])
+        assert hybrid.crf is not None
+        predictions = hybrid.predict_table(test[0])
+        assert len(predictions) == test[0].n_columns
+        assert all(p in SEMANTIC_TYPES for p in predictions)
+
+    def test_external_model_keeps_its_training(self, trained_base, train_test_tables):
+        train, _ = train_test_tables
+        hybrid = SatoModel(
+            config=SatoConfig(
+                use_topic=False, use_struct=True, training=TINY_TRAINING, crf_epochs=2
+            ),
+            column_model=trained_base.column_model,
+        )
+        hybrid.fit_structured(train[:20])
+        # The wrapped column model is the very same fitted object.
+        assert hybrid.column_model is trained_base.column_model

@@ -1,0 +1,315 @@
+"""Tests for the neural network library (layers, losses, optimisers, gradients)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn import (
+    SGD,
+    Adam,
+    BatchNorm1d,
+    Dropout,
+    Linear,
+    Parameter,
+    ReLU,
+    Sequential,
+    Tanh,
+    check_layer_gradients,
+    cross_entropy_loss,
+    log_softmax,
+    numerical_gradient,
+    softmax,
+)
+
+
+class TestParameter:
+    def test_zero_grad(self):
+        parameter = Parameter(np.ones((2, 2)))
+        parameter.grad += 3.0
+        parameter.zero_grad()
+        assert np.allclose(parameter.grad, 0.0)
+
+    def test_shape(self):
+        assert Parameter(np.zeros((3, 4))).shape == (3, 4)
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        layer = Linear(5, 3, rng=np.random.default_rng(0))
+        output = layer.forward(np.random.default_rng(1).normal(size=(7, 5)))
+        assert output.shape == (7, 3)
+
+    def test_gradients_match_numerical(self):
+        layer = Linear(4, 3, rng=np.random.default_rng(0))
+        inputs = np.random.default_rng(1).normal(size=(5, 4))
+        input_error, parameter_errors = check_layer_gradients(layer, inputs)
+        assert input_error < 1e-5
+        assert all(error < 1e-5 for error in parameter_errors.values())
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            Linear(0, 3)
+
+    def test_state_dict_round_trip(self):
+        layer = Linear(3, 2, rng=np.random.default_rng(0), name="l")
+        state = layer.state_dict()
+        other = Linear(3, 2, rng=np.random.default_rng(5), name="l")
+        other.load_state_dict(state)
+        x = np.random.default_rng(2).normal(size=(4, 3))
+        assert np.allclose(layer.forward(x), other.forward(x))
+
+
+class TestActivations:
+    def test_relu_forward(self):
+        layer = ReLU()
+        output = layer.forward(np.array([[-1.0, 2.0]]))
+        assert np.allclose(output, [[0.0, 2.0]])
+
+    def test_relu_gradients(self):
+        layer = ReLU()
+        inputs = np.random.default_rng(0).normal(size=(6, 4)) + 0.1
+        input_error, _ = check_layer_gradients(layer, inputs)
+        assert input_error < 1e-5
+
+    def test_tanh_gradients(self):
+        layer = Tanh()
+        inputs = np.random.default_rng(0).normal(size=(6, 4))
+        input_error, _ = check_layer_gradients(layer, inputs)
+        assert input_error < 1e-5
+
+
+class TestDropout:
+    def test_inference_is_identity(self):
+        layer = Dropout(0.5)
+        x = np.random.default_rng(0).normal(size=(4, 4))
+        assert np.allclose(layer.forward(x, training=False), x)
+
+    def test_training_masks_and_scales(self):
+        layer = Dropout(0.5, rng=np.random.default_rng(0))
+        x = np.ones((200, 10))
+        output = layer.forward(x, training=True)
+        assert np.isclose(output.mean(), 1.0, atol=0.15)
+        assert (output == 0).any()
+
+    def test_zero_rate_is_identity_in_training(self):
+        layer = Dropout(0.0)
+        x = np.ones((3, 3))
+        assert np.allclose(layer.forward(x, training=True), x)
+
+    def test_backward_uses_same_mask(self):
+        layer = Dropout(0.5, rng=np.random.default_rng(0))
+        x = np.ones((10, 10))
+        output = layer.forward(x, training=True)
+        grad = layer.backward(np.ones_like(x))
+        assert np.allclose(grad, output)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestBatchNorm:
+    def test_training_normalises_batch(self):
+        layer = BatchNorm1d(3)
+        x = np.random.default_rng(0).normal(loc=5.0, scale=2.0, size=(64, 3))
+        output = layer.forward(x, training=True)
+        assert np.allclose(output.mean(axis=0), 0.0, atol=1e-6)
+        assert np.allclose(output.std(axis=0), 1.0, atol=1e-2)
+
+    def test_running_stats_update(self):
+        layer = BatchNorm1d(2, momentum=0.5)
+        x = np.random.default_rng(0).normal(loc=3.0, size=(32, 2))
+        layer.forward(x, training=True)
+        assert not np.allclose(layer.running_mean, 0.0)
+
+    def test_inference_uses_running_stats(self):
+        layer = BatchNorm1d(2)
+        x = np.random.default_rng(0).normal(size=(16, 2))
+        layer.forward(x, training=True)
+        single = layer.forward(x[:1], training=False)
+        assert single.shape == (1, 2)
+        assert np.all(np.isfinite(single))
+
+    def test_gradients_match_numerical_inference_mode(self):
+        layer = BatchNorm1d(3)
+        layer.running_mean = np.array([0.5, -0.2, 0.1])
+        layer.running_var = np.array([1.5, 0.7, 2.0])
+        inputs = np.random.default_rng(1).normal(size=(4, 3))
+        input_error, parameter_errors = check_layer_gradients(layer, inputs)
+        assert input_error < 1e-5
+        assert all(error < 1e-5 for error in parameter_errors.values())
+
+    def test_state_dict_includes_running_stats(self):
+        layer = BatchNorm1d(2, name="bn")
+        layer.forward(np.random.default_rng(0).normal(size=(8, 2)), training=True)
+        state = layer.state_dict()
+        restored = BatchNorm1d(2, name="bn")
+        restored.load_state_dict(state)
+        assert np.allclose(restored.running_mean, layer.running_mean)
+        assert np.allclose(restored.running_var, layer.running_var)
+
+
+class TestSequential:
+    def test_forward_backward_shapes(self):
+        rng = np.random.default_rng(0)
+        network = Sequential(Linear(6, 4, rng=rng), ReLU(), Linear(4, 2, rng=rng))
+        x = rng.normal(size=(5, 6))
+        output = network.forward(x)
+        assert output.shape == (5, 2)
+        grad_in = network.backward(np.ones_like(output))
+        assert grad_in.shape == x.shape
+
+    def test_parameters_collected(self):
+        rng = np.random.default_rng(0)
+        network = Sequential(Linear(3, 3, rng=rng), ReLU(), Linear(3, 2, rng=rng))
+        assert len(network.parameters()) == 4
+
+    def test_state_dict_round_trip(self):
+        rng = np.random.default_rng(0)
+        network = Sequential(Linear(3, 3, rng=rng, name="a"), Linear(3, 2, rng=rng, name="b"))
+        clone = Sequential(
+            Linear(3, 3, rng=np.random.default_rng(9), name="a"),
+            Linear(3, 2, rng=np.random.default_rng(8), name="b"),
+        )
+        clone.load_state_dict(network.state_dict())
+        x = rng.normal(size=(4, 3))
+        assert np.allclose(network.forward(x), clone.forward(x))
+
+    def test_add(self):
+        network = Sequential()
+        network.add(Linear(2, 2, rng=np.random.default_rng(0)))
+        assert len(network.layers) == 1
+
+    def test_whole_network_gradient(self):
+        rng = np.random.default_rng(0)
+        network = Sequential(Linear(4, 5, rng=rng), Tanh(), Linear(5, 3, rng=rng))
+        inputs = rng.normal(size=(3, 4))
+        input_error, parameter_errors = check_layer_gradients(network, inputs)
+        assert input_error < 1e-5
+        assert all(error < 1e-4 for error in parameter_errors.values())
+
+
+class TestLosses:
+    def test_softmax_sums_to_one(self):
+        probabilities = softmax(np.random.default_rng(0).normal(size=(6, 9)))
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
+        assert np.all(probabilities >= 0)
+
+    def test_softmax_stability_with_large_logits(self):
+        probabilities = softmax(np.array([[1000.0, 1000.0, -1000.0]]))
+        assert np.all(np.isfinite(probabilities))
+        assert probabilities[0, 0] == pytest.approx(0.5)
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        logits = np.random.default_rng(0).normal(size=(4, 5))
+        assert np.allclose(log_softmax(logits), np.log(softmax(logits)))
+
+    def test_cross_entropy_perfect_prediction(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        loss, _ = cross_entropy_loss(logits, np.array([0, 1]))
+        assert loss == pytest.approx(0.0, abs=1e-6)
+
+    def test_cross_entropy_uniform(self):
+        logits = np.zeros((3, 4))
+        loss, _ = cross_entropy_loss(logits, np.array([0, 1, 2]))
+        assert loss == pytest.approx(np.log(4))
+
+    def test_gradient_matches_numerical(self):
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=(4, 5))
+        targets = np.array([1, 0, 3, 2])
+        _, grad = cross_entropy_loss(logits, targets)
+        numeric = numerical_gradient(
+            lambda x: cross_entropy_loss(x, targets)[0], logits.copy()
+        )
+        assert np.abs(grad - numeric).max() < 1e-6
+
+    def test_class_weights_change_loss(self):
+        logits = np.random.default_rng(0).normal(size=(4, 3))
+        targets = np.array([0, 1, 2, 0])
+        plain, _ = cross_entropy_loss(logits, targets)
+        weights = np.array([10.0, 1.0, 1.0])
+        weighted, _ = cross_entropy_loss(logits, targets, class_weights=weights)
+        assert weighted != pytest.approx(plain)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            cross_entropy_loss(np.zeros(3), np.array([0]))
+        with pytest.raises(ValueError):
+            cross_entropy_loss(np.zeros((2, 3)), np.array([0]))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=2, max_value=6),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_loss_nonnegative(self, batch, n_classes, seed):
+        rng = np.random.default_rng(seed)
+        logits = rng.normal(size=(batch, n_classes))
+        targets = rng.integers(0, n_classes, size=batch)
+        loss, grad = cross_entropy_loss(logits, targets)
+        assert loss >= 0
+        assert np.allclose(grad.sum(axis=1), 0.0, atol=1e-9)
+
+
+class TestOptimizers:
+    def _quadratic_step(self, optimizer, parameter):
+        for _ in range(200):
+            optimizer.zero_grad()
+            parameter.grad += 2 * (parameter.data - 3.0)
+            optimizer.step()
+
+    def test_sgd_converges_on_quadratic(self):
+        parameter = Parameter(np.array([0.0]))
+        self._quadratic_step(SGD([parameter], learning_rate=0.1), parameter)
+        assert parameter.data[0] == pytest.approx(3.0, abs=1e-3)
+
+    def test_adam_converges_on_quadratic(self):
+        parameter = Parameter(np.array([0.0]))
+        self._quadratic_step(Adam([parameter], learning_rate=0.1), parameter)
+        assert parameter.data[0] == pytest.approx(3.0, abs=1e-2)
+
+    def test_sgd_momentum_moves_faster(self):
+        slow = Parameter(np.array([0.0]))
+        fast = Parameter(np.array([0.0]))
+        sgd_slow = SGD([slow], learning_rate=0.01)
+        sgd_fast = SGD([fast], learning_rate=0.01, momentum=0.9)
+        for _ in range(20):
+            for optimizer, parameter in ((sgd_slow, slow), (sgd_fast, fast)):
+                optimizer.zero_grad()
+                parameter.grad += 2 * (parameter.data - 3.0)
+                optimizer.step()
+        assert abs(fast.data[0] - 3.0) < abs(slow.data[0] - 3.0)
+
+    def test_weight_decay_shrinks_parameters(self):
+        parameter = Parameter(np.array([5.0]))
+        optimizer = Adam([parameter], learning_rate=0.1, weight_decay=0.5)
+        for _ in range(50):
+            optimizer.zero_grad()
+            optimizer.step()
+        assert abs(parameter.data[0]) < 5.0
+
+    def test_invalid_learning_rate(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], learning_rate=0.0)
+
+    def test_network_trains_on_toy_problem(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(200, 2))
+        y = (x[:, 0] + x[:, 1] > 0).astype(np.int64)
+        network = Sequential(Linear(2, 16, rng=rng), ReLU(), Linear(16, 2, rng=rng))
+        optimizer = Adam(network.parameters(), learning_rate=0.01)
+        first_loss = None
+        for _ in range(150):
+            optimizer.zero_grad()
+            logits = network.forward(x, training=True)
+            loss, grad = cross_entropy_loss(logits, y)
+            if first_loss is None:
+                first_loss = loss
+            network.backward(grad)
+            optimizer.step()
+        final_logits = network.forward(x)
+        accuracy = (final_logits.argmax(axis=1) == y).mean()
+        assert loss < first_loss
+        assert accuracy > 0.9

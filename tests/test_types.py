@@ -1,0 +1,91 @@
+"""Tests for the semantic type registry and header canonicalisation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import types
+
+
+class TestRegistry:
+    def test_exactly_78_types(self):
+        assert types.NUM_TYPES == 78
+        assert len(types.SEMANTIC_TYPES) == 78
+
+    def test_no_duplicate_types(self):
+        assert len(set(types.SEMANTIC_TYPES)) == len(types.SEMANTIC_TYPES)
+
+    def test_index_round_trip(self):
+        for name in types.SEMANTIC_TYPES:
+            assert types.type_name(types.type_index(name)) == name
+
+    def test_index_mapping_is_dense(self):
+        indices = sorted(types.TYPE_TO_INDEX.values())
+        assert indices == list(range(78))
+
+    def test_known_types_present(self):
+        for expected in ("name", "city", "birthPlace", "teamName", "isbn", "fileSize"):
+            assert types.is_semantic_type(expected)
+
+    def test_unknown_type_rejected(self):
+        assert not types.is_semantic_type("population")
+        with pytest.raises(types.UnknownSemanticTypeError):
+            types.type_index("population")
+
+    def test_type_name_out_of_range(self):
+        with pytest.raises(types.UnknownSemanticTypeError):
+            types.type_name(1000)
+
+    def test_filter_supported(self):
+        labels = ["city", "population", "name", ""]
+        assert types.filter_supported(labels) == ["city", "name"]
+
+
+class TestCanonicalizeHeader:
+    @pytest.mark.parametrize(
+        "raw, expected",
+        [
+            ("YEAR", "year"),
+            ("Year", "year"),
+            ("year (first occurrence)", "year"),
+            ("birth place (country)", "birthPlace"),
+            ("birth place", "birthPlace"),
+            ("Birth Place", "birthPlace"),
+            ("team name", "teamName"),
+            ("file size", "fileSize"),
+            ("FILE SIZE", "fileSize"),
+            (" city ", "city"),
+            ("city,", "city"),
+            ("birth_date", "birthDate"),
+            ("Birth-Date", "birthDate"),
+            ("name", "name"),
+        ],
+    )
+    def test_examples(self, raw, expected):
+        assert types.canonicalize_header(raw) == expected
+
+    def test_empty_and_none(self):
+        assert types.canonicalize_header("") == ""
+        assert types.canonicalize_header(None) == ""
+        assert types.canonicalize_header("   ") == ""
+        assert types.canonicalize_header("(only parens)") == ""
+
+    def test_every_registered_type_is_its_own_canonical_form(self):
+        # Spacing out a camelCase label and re-canonicalising must return it.
+        for name in types.SEMANTIC_TYPES:
+            spaced = "".join(
+                (" " + c.lower()) if c.isupper() else c for c in name
+            )
+            assert types.canonicalize_header(spaced) == name
+
+    def test_parenthesised_content_removed_anywhere(self):
+        assert types.canonicalize_header("weight (kg) total") == "weightTotal"
+
+    @given(st.text(max_size=30))
+    def test_never_raises_and_returns_string(self, raw):
+        result = types.canonicalize_header(raw)
+        assert isinstance(result, str)
+
+    @given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=15))
+    def test_idempotent_on_single_words(self, word):
+        once = types.canonicalize_header(word)
+        assert types.canonicalize_header(once) == once
