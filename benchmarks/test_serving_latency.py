@@ -1,0 +1,74 @@
+"""Serving latency: cold (retrain per call) vs warm (bundle load) prediction.
+
+The train-once / serve-many split only pays off if loading a persisted
+bundle and serving from it is dramatically cheaper than the legacy
+retrain-per-call path.  This benchmark times both, plus the cache effect of
+repeated traffic over the same tables, and emits a small report so
+``BENCH_*.json`` tracks the serving hot path over time.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import emit, run_once
+
+from repro.experiments.pipeline import build_corpus, make_model_factories
+from repro.serving import Predictor, load_model, save_model
+
+
+def _serving_comparison(config, bundle_dir) -> dict:
+    dataset = build_corpus(config)
+    tables = dataset.multi_column().tables
+    split = max(1, int(len(tables) * 0.8))
+    train, serve = tables[:split], tables[split:] or tables[:1]
+    factory = make_model_factories(config)["Sato"]
+
+    # Cold path: what every `predict` call paid before persistence existed.
+    started = time.perf_counter()
+    model = factory().fit(train)
+    cold_predictions = [model.predict_table(t) for t in serve]
+    cold_seconds = time.perf_counter() - started
+
+    save_model(model, bundle_dir)
+
+    # Warm path: load the bundle once, then serve the same tables batched.
+    started = time.perf_counter()
+    predictor = Predictor(load_model(bundle_dir))
+    warm_predictions = predictor.predict_tables(serve)
+    warm_seconds = time.perf_counter() - started
+
+    # Hot path: repeated traffic over the same columns hits the LRU cache.
+    started = time.perf_counter()
+    predictor.predict_tables(serve)
+    hot_seconds = time.perf_counter() - started
+
+    assert warm_predictions == cold_predictions
+    return {
+        "n_serve_tables": len(serve),
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "hot_seconds": hot_seconds,
+        "speedup_warm": cold_seconds / max(warm_seconds, 1e-9),
+        "speedup_hot": cold_seconds / max(hot_seconds, 1e-9),
+        "cache": predictor.cache_info(),
+    }
+
+
+def test_serving_latency(benchmark, config, tmp_path):
+    result = run_once(benchmark, _serving_comparison, config, tmp_path / "bundle")
+    lines = [
+        "Serving latency: cold (retrain) vs warm (bundle load + batched serve)",
+        f"  serve tables : {result['n_serve_tables']}",
+        f"  cold         : {result['cold_seconds']:.3f}s (train + per-table predict)",
+        f"  warm         : {result['warm_seconds']:.3f}s (load bundle + batched predict)",
+        f"  hot          : {result['hot_seconds']:.3f}s (cache hits: {result['cache']['hits']})",
+        f"  speedup warm : {result['speedup_warm']:.1f}x",
+        f"  speedup hot  : {result['speedup_hot']:.1f}x",
+    ]
+    emit("serving_latency", "\n".join(lines))
+
+    # Loading a bundle must be far cheaper than retraining; the cached hot
+    # path must not be slower than the first warm pass by any wide margin.
+    assert result["speedup_warm"] > 2.0
+    assert result["cache"]["hits"] >= result["cache"]["misses"]

@@ -33,8 +33,9 @@ from repro.models import (
     TrainingConfig,
 )
 from repro.evaluation import classification_report, evaluate_model_cv
+from repro.serving import Predictor, load_model, save_model
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "SEMANTIC_TYPES",
@@ -57,5 +58,8 @@ __all__ = [
     "AttentionColumnModel",
     "classification_report",
     "evaluate_model_cv",
+    "Predictor",
+    "save_model",
+    "load_model",
     "__version__",
 ]

@@ -3,29 +3,37 @@
 Subcommands::
 
     repro-sato generate  --n-tables 500 --out corpus.jsonl
+    repro-sato train     --corpus corpus.jsonl --out model/
+    repro-sato predict   --model model/ --csv mytable.csv
     repro-sato evaluate  --corpus corpus.jsonl --variant Sato --k 3
-    repro-sato predict   --corpus corpus.jsonl --csv mytable.csv
     repro-sato report    --preset tiny
 
-``generate`` writes a synthetic corpus, ``evaluate`` cross-validates one
-model variant on it, ``predict`` trains the full Sato model on a corpus and
-prints per-column predictions for a CSV table, and ``report`` regenerates
-the Table 1 summary for a configuration preset.
+``generate`` writes a synthetic corpus.  ``train`` fits a model variant on a
+corpus and saves it as an artifact bundle, after which ``predict --model``
+loads the bundle and serves per-column predictions for CSV tables without
+retraining.  When ``--model`` is absent, ``predict --corpus`` falls back to
+the legacy retrain-per-call behaviour.  ``evaluate`` cross-validates one
+model variant and ``report`` regenerates the Table 1 summary for a
+configuration preset.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Sequence
 
 from repro.corpus import CorpusConfig, CorpusGenerator
 from repro.evaluation import evaluate_model_cv
 from repro.experiments import ExperimentConfig, reporting, run_main_results
 from repro.experiments.pipeline import make_model_factories
+from repro.serving import BundleFormatError, Predictor, save_model
 from repro.tables import table_from_csv, tables_from_jsonl, tables_to_jsonl
 
 __all__ = ["main", "build_parser"]
+
+MODEL_VARIANTS = ("Base", "Sato", "SatoNoStruct", "SatoNoTopic")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -42,21 +50,44 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--singleton-rate", type=float, default=0.4)
     generate.add_argument("--out", required=True, help="output JSONL path")
 
+    train = subparsers.add_parser(
+        "train", help="train a model on a corpus and save it as a bundle"
+    )
+    train.add_argument("--corpus", required=True, help="training corpus JSONL path")
+    train.add_argument("--out", required=True, help="output bundle directory")
+    train.add_argument("--variant", choices=MODEL_VARIANTS, default="Sato")
+    train.add_argument("--epochs", type=int, default=15)
+
     evaluate = subparsers.add_parser("evaluate", help="cross-validate a model variant")
     evaluate.add_argument("--corpus", required=True, help="corpus JSONL path")
-    evaluate.add_argument(
-        "--variant",
-        choices=["Base", "Sato", "SatoNoStruct", "SatoNoTopic"],
-        default="Sato",
-    )
+    evaluate.add_argument("--variant", choices=MODEL_VARIANTS, default="Sato")
     evaluate.add_argument("--k", type=int, default=3)
     evaluate.add_argument("--multi-column-only", action="store_true")
     evaluate.add_argument("--epochs", type=int, default=15)
 
-    predict = subparsers.add_parser("predict", help="predict column types of a CSV table")
-    predict.add_argument("--corpus", required=True, help="training corpus JSONL path")
-    predict.add_argument("--csv", required=True, help="CSV table to annotate")
-    predict.add_argument("--epochs", type=int, default=15)
+    predict = subparsers.add_parser("predict", help="predict column types of CSV tables")
+    predict.add_argument(
+        "--model", help="saved model bundle directory (serve without retraining)"
+    )
+    predict.add_argument(
+        "--corpus",
+        help="training corpus JSONL path (legacy fallback: retrains per call)",
+    )
+    predict.add_argument(
+        "--csv", required=True, nargs="+", help="CSV table(s) to annotate"
+    )
+    predict.add_argument(
+        "--variant",
+        choices=MODEL_VARIANTS,
+        default=None,
+        help="variant for the --corpus fallback (default Sato); bundles fix theirs at train time",
+    )
+    predict.add_argument(
+        "--epochs",
+        type=int,
+        default=None,
+        help="epochs for the --corpus fallback (default 15)",
+    )
 
     report = subparsers.add_parser("report", help="regenerate the Table 1 summary")
     report.add_argument("--preset", choices=["tiny", "fast", "large"], default="tiny")
@@ -77,6 +108,24 @@ def _experiment_config(epochs: int) -> ExperimentConfig:
     return ExperimentConfig(nn_epochs=epochs)
 
 
+def _build_variant(variant: str, epochs: int):
+    return make_model_factories(_experiment_config(epochs))[variant]()
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    tables = tables_from_jsonl(args.corpus)
+    model = _build_variant(args.variant, args.epochs)
+    started = time.perf_counter()
+    model.fit(tables)
+    elapsed = time.perf_counter() - started
+    save_model(model, args.out)
+    print(
+        f"trained {model.name} on {len(tables)} tables in {elapsed:.1f}s; "
+        f"bundle saved to {args.out}"
+    )
+    return 0
+
+
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     tables = tables_from_jsonl(args.corpus)
     if args.multi_column_only:
@@ -95,15 +144,43 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
 
 def _cmd_predict(args: argparse.Namespace) -> int:
-    tables = tables_from_jsonl(args.corpus)
-    factories = make_model_factories(_experiment_config(args.epochs))
-    model = factories["Sato"]()
-    model.fit(tables)
-    table = table_from_csv(args.csv)
-    predictions = model.predict_table(table)
-    for index, (column, prediction) in enumerate(zip(table.columns, predictions)):
-        header = column.header or f"column {index}"
-        print(f"{header:<24} -> {prediction}")
+    if args.model is None and args.corpus is None:
+        print("predict requires --model (bundle) or --corpus (retrain fallback)", file=sys.stderr)
+        return 2
+    if args.model is not None:
+        if args.corpus is not None:
+            print(
+                "--model and --corpus are mutually exclusive: a bundle is "
+                "already trained, the corpus would be ignored",
+                file=sys.stderr,
+            )
+            return 2
+        if args.variant is not None or args.epochs is not None:
+            print(
+                "--variant/--epochs only apply to the --corpus retrain fallback; "
+                "a bundle's variant is fixed at train time",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            predictor = Predictor.from_bundle(args.model)
+        except BundleFormatError as error:
+            print(f"cannot load model bundle: {error}", file=sys.stderr)
+            return 2
+    else:
+        variant = "Sato" if args.variant is None else args.variant
+        epochs = 15 if args.epochs is None else args.epochs
+        model = _build_variant(variant, epochs)
+        model.fit(tables_from_jsonl(args.corpus))
+        predictor = Predictor(model)
+    tables = [table_from_csv(path) for path in args.csv]
+    predictions = predictor.predict_tables(tables)
+    for path, table, labels in zip(args.csv, tables, predictions):
+        if len(args.csv) > 1:
+            print(f"# {path}")
+        for index, (column, label) in enumerate(zip(table.columns, labels)):
+            header = column.header or f"column {index}"
+            print(f"{header:<24} -> {label}")
     return 0
 
 
@@ -124,6 +201,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     handlers = {
         "generate": _cmd_generate,
+        "train": _cmd_train,
         "evaluate": _cmd_evaluate,
         "predict": _cmd_predict,
         "report": _cmd_report,

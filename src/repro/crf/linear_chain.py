@@ -162,6 +162,10 @@ class LinearChainCRF:
 
     # -------------------------------------------------------- serialisation
 
+    def config_dict(self) -> dict:
+        """JSON-serialisable constructor configuration."""
+        return {"n_states": self.n_states, "unary_weight": self.unary_weight}
+
     def state_dict(self) -> dict[str, np.ndarray]:
         """Serialisable state."""
         return {

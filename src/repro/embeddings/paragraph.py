@@ -61,6 +61,36 @@ class ParagraphEmbedder:
         self._fitted = True
         return self
 
+    # -------------------------------------------------------- serialisation
+
+    def config_dict(self) -> dict:
+        """JSON-serialisable constructor configuration."""
+        return {"dim": self.dim, "seed": self.seed}
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Serialisable fitted state (idf table + optional projection)."""
+        if not self._fitted:
+            raise RuntimeError("paragraph embedder is not fitted")
+        tokens = sorted(self._idf)
+        state = {
+            "idf_tokens": np.array(tokens, dtype=np.str_),
+            "idf_values": np.array([self._idf[t] for t in tokens], dtype=np.float64),
+        }
+        if self._projection is not None:
+            state["projection"] = self._projection.copy()
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore state produced by :meth:`state_dict`."""
+        tokens = state["idf_tokens"].tolist()
+        values = np.asarray(state["idf_values"], dtype=np.float64)
+        self._idf = {token: float(value) for token, value in zip(tokens, values)}
+        if "projection" in state:
+            self._projection = np.asarray(state["projection"], dtype=np.float64).copy()
+        else:
+            self._projection = None
+        self._fitted = True
+
     def embed(self, tokens: Sequence[str]) -> np.ndarray:
         """Embed one tokenised column/document."""
         if not self._fitted:

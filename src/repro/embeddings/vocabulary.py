@@ -64,6 +64,26 @@ class Vocabulary:
         return self
 
     @classmethod
+    def from_tokens(
+        cls,
+        tokens: Iterable[str],
+        min_count: int = 1,
+        max_size: int | None = None,
+    ) -> "Vocabulary":
+        """Rebuild a finalised vocabulary from an ordered token list.
+
+        Used when restoring a persisted model: the token order *is* the id
+        assignment, so no counts are needed (and none survive).
+        """
+        vocabulary = cls(min_count=min_count, max_size=max_size)
+        vocabulary._id_to_token = [str(t) for t in tokens]
+        vocabulary._token_to_id = {
+            token: i for i, token in enumerate(vocabulary._id_to_token)
+        }
+        vocabulary._finalized = True
+        return vocabulary
+
+    @classmethod
     def from_documents(
         cls,
         documents: Iterable[Iterable[str]],

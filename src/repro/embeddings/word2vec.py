@@ -138,6 +138,35 @@ class WordEmbeddingModel:
             vectors = np.hstack([vectors, pad])
         return vectors.astype(np.float64)
 
+    # -------------------------------------------------------- serialisation
+
+    def config_dict(self) -> dict:
+        """JSON-serialisable constructor configuration."""
+        return {
+            "dim": self.dim,
+            "window": self.window,
+            "min_count": self.min_count,
+            "max_vocab": self.max_vocab,
+            "seed": self.seed,
+        }
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Serialisable fitted state (vocabulary order + vectors)."""
+        if not self.is_fitted:
+            raise RuntimeError("embedding model is not fitted")
+        assert self.vocabulary is not None and self.vectors is not None
+        return {
+            "tokens": np.array(list(self.vocabulary), dtype=np.str_),
+            "vectors": self.vectors.copy(),
+        }
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore state produced by :meth:`state_dict`."""
+        self.vocabulary = Vocabulary.from_tokens(
+            state["tokens"].tolist(), min_count=self.min_count, max_size=self.max_vocab
+        )
+        self.vectors = np.asarray(state["vectors"], dtype=np.float64).copy()
+
     def vector(self, token: str) -> np.ndarray:
         """Return the vector of a token (zeros when out of vocabulary)."""
         if not self.is_fitted:

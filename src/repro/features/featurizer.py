@@ -96,6 +96,7 @@ class ColumnFeaturizer:
         self.para_dim = para_dim
         self.max_tokens_per_column = max_tokens_per_column
         self.standardize = standardize
+        self.min_token_count = min_token_count
         self.seed = seed
         self.word_model = WordEmbeddingModel(
             dim=word_dim, min_count=min_token_count, seed=seed
@@ -185,9 +186,22 @@ class ColumnFeaturizer:
 
     def transform_table(self, table: Table) -> np.ndarray:
         """Featurize all columns of a table, returning an (m, n_features) matrix."""
-        if not table.columns:
+        return self.transform_columns(table.columns)
+
+    def transform_columns(self, columns: Sequence[Column]) -> np.ndarray:
+        """Featurize a batch of columns into an (m, n_features) matrix.
+
+        Raw features are stacked first and standardised in one vectorised
+        operation, which is the building block of the batched serving path.
+        """
+        if not self._fitted:
+            raise RuntimeError("featurizer must be fitted before transform")
+        if not columns:
             return np.zeros((0, self.n_features), dtype=np.float64)
-        return np.stack([self.transform_column(column) for column in table.columns])
+        raw = np.stack([self._raw_features(column) for column in columns])
+        if self.standardize and self._mean is not None and self._std is not None:
+            raw = (raw - self._mean) / self._std
+        return raw
 
     def transform_tables(self, tables: Sequence[Table]) -> FeatureMatrix:
         """Featurize every column of every table into one feature matrix."""
@@ -213,6 +227,49 @@ class ColumnFeaturizer:
             table_ids=table_ids,
             column_positions=positions,
         )
+
+    # -------------------------------------------------------- serialisation
+
+    def config_dict(self) -> dict:
+        """JSON-serialisable constructor configuration."""
+        return {
+            "word_dim": self.word_dim,
+            "para_dim": self.para_dim,
+            "max_tokens_per_column": self.max_tokens_per_column,
+            "standardize": self.standardize,
+            "min_token_count": self.min_token_count,
+            "seed": self.seed,
+        }
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Serialisable fitted state: embedding substrate + standardiser."""
+        if not self._fitted:
+            raise RuntimeError("featurizer is not fitted")
+        state: dict[str, np.ndarray] = {}
+        for key, value in self.word_model.state_dict().items():
+            state[f"word.{key}"] = value
+        for key, value in self.paragraph_embedder.state_dict().items():
+            state[f"para.{key}"] = value
+        if self._mean is not None and self._std is not None:
+            state["mean"] = self._mean.copy()
+            state["std"] = self._std.copy()
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore state produced by :meth:`state_dict`."""
+        self.word_model.load_state_dict(
+            {k[len("word."):]: v for k, v in state.items() if k.startswith("word.")}
+        )
+        self.paragraph_embedder.load_state_dict(
+            {k[len("para."):]: v for k, v in state.items() if k.startswith("para.")}
+        )
+        if "mean" in state and "std" in state:
+            self._mean = np.asarray(state["mean"], dtype=np.float64).copy()
+            self._std = np.asarray(state["std"], dtype=np.float64).copy()
+        else:
+            self._mean = None
+            self._std = None
+        self._fitted = True
 
     def feature_names(self) -> list[str]:
         """Human-readable names of every feature dimension."""

@@ -58,6 +58,8 @@ class MultiInputClassifier:
         self.n_classes = n_classes
         self.subnet_dim = subnet_dim
         self.hidden_dim = hidden_dim
+        self.dropout = dropout
+        self.seed = seed
         rng = np.random.default_rng(seed)
 
         self.subnetworks: dict[str, Sequential | None] = {}
@@ -146,6 +148,20 @@ class MultiInputClassifier:
         return parameters
 
     # -------------------------------------------------------- serialisation
+
+    def config_dict(self) -> dict:
+        """JSON-serialisable constructor configuration (architecture)."""
+        return {
+            "groups": [
+                {"name": g.name, "input_dim": g.input_dim, "compress": g.compress}
+                for g in self.groups
+            ],
+            "n_classes": self.n_classes,
+            "subnet_dim": self.subnet_dim,
+            "hidden_dim": self.hidden_dim,
+            "dropout": self.dropout,
+            "seed": self.seed,
+        }
 
     def state_dict(self) -> dict[str, np.ndarray]:
         """Serialisable state of all subnetworks and the primary network."""

@@ -16,7 +16,7 @@ variant        topic-aware structured (CRF)
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Sequence
 
 import numpy as np
@@ -164,36 +164,103 @@ class SatoModel(ColumnModel):
 
     # ------------------------------------------------------------ inference
 
-    def predict_proba_table(self, table: Table) -> np.ndarray:
-        """Per-column type distributions.
-
-        With the CRF enabled and a multi-column table, these are the CRF
-        posterior marginals; otherwise they are the column-wise scores.
-        """
-        probabilities = self.column_model.predict_proba_table(table)
-        if (
+    def _crf_active(self, probabilities: np.ndarray) -> bool:
+        return (
             self.config.use_struct
             and self.crf is not None
             and probabilities.shape[0] > 1
-        ):
+        )
+
+    def marginals_from_proba(self, probabilities: np.ndarray) -> np.ndarray:
+        """Structured per-column distributions given column-wise scores.
+
+        With the CRF enabled and more than one column these are the CRF
+        posterior marginals; otherwise the scores pass through unchanged.
+        The batched serving path computes column-wise scores for many tables
+        in one forward pass and then calls this per table.
+        """
+        if self._crf_active(probabilities):
+            assert self.crf is not None
             unary = np.log(probabilities + _LOG_EPS)
             return self.crf.marginals(unary)
         return probabilities
 
-    def predict_table(self, table: Table) -> list[str]:
-        """Predicted semantic type per column (Viterbi when the CRF is on)."""
-        probabilities = self.column_model.predict_proba_table(table)
-        if (
-            self.config.use_struct
-            and self.crf is not None
-            and probabilities.shape[0] > 1
-        ):
+    def labels_from_proba(self, probabilities: np.ndarray) -> list[str]:
+        """Decoded semantic types given column-wise scores (Viterbi when on)."""
+        if self._crf_active(probabilities):
+            assert self.crf is not None
             unary = np.log(probabilities + _LOG_EPS)
             indices = self.crf.viterbi(unary)
         else:
             indices = probabilities.argmax(axis=1)
         return [INDEX_TO_TYPE[int(i)] for i in indices]
 
+    def predict_proba_table(self, table: Table) -> np.ndarray:
+        """Per-column type distributions.
+
+        With the CRF enabled and a multi-column table, these are the CRF
+        posterior marginals; otherwise they are the column-wise scores.
+        """
+        return self.marginals_from_proba(self.column_model.predict_proba_table(table))
+
+    def predict_table(self, table: Table) -> list[str]:
+        """Predicted semantic type per column (Viterbi when the CRF is on)."""
+        return self.labels_from_proba(self.column_model.predict_proba_table(table))
+
     def column_embeddings(self, table: Table) -> np.ndarray:
         """Column embeddings from the column-wise model (before the CRF)."""
         return self.column_model.column_embeddings(table)
+
+    # -------------------------------------------------------- serialisation
+
+    def config_dict(self) -> dict:
+        """JSON-serialisable configuration of the whole pipeline."""
+        config = asdict(self.config)
+        return {
+            "variant": self.name,
+            "sato": config,
+            "column_model": self.column_model.config_dict(),
+            "crf": self.crf.config_dict() if self.crf is not None else None,
+        }
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Serialisable fitted state: column model + optional CRF."""
+        state = {
+            f"column_model.{key}": value
+            for key, value in self.column_model.state_dict().items()
+        }
+        if self.crf is not None:
+            for key, value in self.crf.state_dict().items():
+                state[f"crf.{key}"] = value
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore a fitted model (column model + CRF) without retraining."""
+        self.column_model.load_state_dict(
+            {
+                k[len("column_model."):]: v
+                for k, v in state.items()
+                if k.startswith("column_model.")
+            }
+        )
+        crf_state = {
+            k[len("crf."):]: v for k, v in state.items() if k.startswith("crf.")
+        }
+        if crf_state:
+            self.crf = LinearChainCRF(n_states=NUM_TYPES)
+            self.crf.load_state_dict(crf_state)
+        else:
+            self.crf = None
+
+    def save(self, path) -> None:
+        """Persist this fitted model as an artifact bundle directory."""
+        from repro.serving import save_model
+
+        save_model(self, path)
+
+    @classmethod
+    def load(cls, path) -> "SatoModel":
+        """Load a fitted model from an artifact bundle directory."""
+        from repro.serving import load_model
+
+        return load_model(path)

@@ -7,6 +7,7 @@ and the foundation the topic-aware model extends.
 
 from __future__ import annotations
 
+from dataclasses import asdict
 from typing import Sequence
 
 import numpy as np
@@ -127,6 +128,17 @@ class SherlockModel(ColumnModel):
             raise RuntimeError("model is not fitted")
         return self.network.predict_proba(self.split_features(features))
 
+    def predict_proba_matrix(
+        self, features: np.ndarray, topics: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Uniform batched-inference entry point.
+
+        Accepts the features of any number of columns (possibly spanning many
+        tables) plus an optional per-column topic matrix, which the base
+        model ignores.  Subclasses with extra input groups override this.
+        """
+        return self.predict_proba_from_features(features)
+
     def predict_proba_table(self, table: Table) -> np.ndarray:
         if self.network is None:
             raise RuntimeError("model is not fitted")
@@ -141,3 +153,58 @@ class SherlockModel(ColumnModel):
             raise RuntimeError("model is not fitted")
         features = self.featurizer.transform_table(table)
         return self.network.penultimate(self.split_features(features))
+
+    # -------------------------------------------------------- serialisation
+
+    def _extra_group_specs(self) -> list[GroupSpec]:
+        """Input groups beyond the featurizer's (none for the base model)."""
+        return []
+
+    def _stateful_components(self) -> list[tuple[str, object]]:
+        """Named sub-components persisted alongside the network."""
+        return [("featurizer", self.featurizer)]
+
+    def config_dict(self) -> dict:
+        """JSON-serialisable configuration of the whole column model.
+
+        The network architecture entry is informational (the loader rebuilds
+        the network from the featurizer's group layout), but it makes the
+        manifest self-describing for inspection and debugging.
+        """
+        config = {
+            "type": type(self).__name__,
+            "n_classes": self.n_classes,
+            "training": asdict(self.config),
+            "featurizer": self.featurizer.config_dict(),
+        }
+        if self.network is not None:
+            config["network"] = self.network.config_dict()
+        return config
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Serialisable fitted state: sub-components + network weights."""
+        if self.network is None:
+            raise RuntimeError("model is not fitted")
+        state: dict[str, np.ndarray] = {}
+        for name, component in self._stateful_components():
+            for key, value in component.state_dict().items():
+                state[f"{name}.{key}"] = value
+        for key, value in self.network.state_dict().items():
+            state[f"network.{key}"] = value
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore a fitted model without retraining.
+
+        Sub-components are restored first, then the network is rebuilt from
+        the (restored) featurizer's group layout and its weights loaded.
+        """
+        for name, component in self._stateful_components():
+            prefix = f"{name}."
+            component.load_state_dict(
+                {k[len(prefix):]: v for k, v in state.items() if k.startswith(prefix)}
+            )
+        self.network = self.build_network(extra_groups=self._extra_group_specs())
+        self.network.load_state_dict(
+            {k[len("network."):]: v for k, v in state.items() if k.startswith("network.")}
+        )

@@ -106,6 +106,12 @@ class TopicAwareModel(SherlockModel):
         inputs["topic"] = np.atleast_2d(topics)
         return self.network.predict_proba(inputs)
 
+    def predict_proba_matrix(
+        self, features: np.ndarray, topics: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Uniform batched-inference entry point (uses the topic matrix)."""
+        return self.predict_proba_from_features(features, topics)
+
     def predict_proba_table(self, table: Table) -> np.ndarray:
         if self.network is None:
             raise RuntimeError("model is not fitted")
@@ -125,3 +131,22 @@ class TopicAwareModel(SherlockModel):
         inputs = self.split_features(features)
         inputs["topic"] = np.tile(topic, (features.shape[0], 1))
         return self.network.penultimate(inputs)
+
+    # -------------------------------------------------------- serialisation
+
+    def _extra_group_specs(self) -> list[GroupSpec]:
+        return [
+            GroupSpec(
+                name="topic", input_dim=self.n_topics, compress=self.compress_topic
+            )
+        ]
+
+    def _stateful_components(self) -> list[tuple[str, object]]:
+        return super()._stateful_components() + [("intent", self.intent_estimator)]
+
+    def config_dict(self) -> dict:
+        config = super().config_dict()
+        config["n_topics"] = self.n_topics
+        config["compress_topic"] = self.compress_topic
+        config["intent"] = self.intent_estimator.config_dict()
+        return config

@@ -1,0 +1,40 @@
+"""Model persistence and batched serving (train once, serve many).
+
+The training path (``SatoModel.fit``) is expensive; the serving path must
+be cheap, repeatable and separately deployable.  This package provides the
+three pieces that make the split possible:
+
+* :class:`~repro.serving.component.StatefulComponent` — the structural
+  protocol (``config_dict`` / ``state_dict`` / ``load_state_dict``) every
+  stateful pipeline layer implements,
+* :func:`~repro.serving.bundle.save_model` /
+  :func:`~repro.serving.bundle.load_model` — the on-disk artifact bundle
+  (JSON manifest + one ``.npz`` of tensors) round-tripping a fitted model
+  bit-exactly,
+* :class:`~repro.serving.predictor.Predictor` — the batched inference
+  facade with an LRU column-feature cache.
+"""
+
+from repro.serving.component import StatefulComponent
+from repro.serving.bundle import (
+    FORMAT_VERSION,
+    MANIFEST_NAME,
+    TENSORS_NAME,
+    BundleFormatError,
+    load_model,
+    save_model,
+)
+from repro.serving.predictor import LRUCache, Predictor, column_fingerprint
+
+__all__ = [
+    "StatefulComponent",
+    "FORMAT_VERSION",
+    "MANIFEST_NAME",
+    "TENSORS_NAME",
+    "BundleFormatError",
+    "save_model",
+    "load_model",
+    "LRUCache",
+    "Predictor",
+    "column_fingerprint",
+]

@@ -1,0 +1,163 @@
+"""Artifact bundle persistence: train once, serve many.
+
+A *bundle* is a directory holding everything needed to serve a fitted
+:class:`~repro.models.sato.SatoModel` without retraining:
+
+``manifest.json``
+    Format version, model variant, the full nested ``config_dict`` tree,
+    the semantic type vocabulary the model was trained against, and the
+    feature-group slices of the featurizer.
+``tensors.npz``
+    Every fitted tensor of every component, under the dotted keys produced
+    by the model's flattened ``state_dict``.
+
+``save_model`` / ``load_model`` round-trip a model bit-exactly: tensors are
+stored as float64 ``.npy`` entries inside the archive, and all inference
+randomness (LDA Gibbs chains) is seeded from the persisted configuration,
+so a reloaded model reproduces the in-memory model's predictions exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.features import ColumnFeaturizer
+from repro.models import SatoConfig, SatoModel, SherlockModel, TopicAwareModel, TrainingConfig
+from repro.topic import LatentDirichletAllocation, TableIntentEstimator
+from repro.types import SEMANTIC_TYPES
+
+__all__ = [
+    "FORMAT_VERSION",
+    "MANIFEST_NAME",
+    "TENSORS_NAME",
+    "BundleFormatError",
+    "save_model",
+    "load_model",
+]
+
+#: Version of the on-disk bundle layout.  Bump on incompatible changes.
+FORMAT_VERSION = 1
+
+MANIFEST_NAME = "manifest.json"
+TENSORS_NAME = "tensors.npz"
+
+
+class BundleFormatError(RuntimeError):
+    """Raised when a bundle directory cannot be (safely) loaded."""
+
+
+def save_model(model: SatoModel, path: str | Path) -> Path:
+    """Persist a fitted Sato model as a bundle directory.
+
+    Returns the bundle path.  Raises ``RuntimeError`` when the model (or any
+    of its components) is not fitted.
+    """
+    path = Path(path)
+    state = model.state_dict()
+    path.mkdir(parents=True, exist_ok=True)
+    featurizer = model.column_model.featurizer
+    manifest = {
+        "format_version": FORMAT_VERSION,
+        "model": model.config_dict(),
+        "semantic_types": list(SEMANTIC_TYPES),
+        "feature_groups": [
+            {"name": g.name, "start": g.start, "stop": g.stop}
+            for g in featurizer.groups
+        ],
+        "tensor_keys": sorted(state),
+    }
+    with (path / MANIFEST_NAME).open("w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    np.savez(path / TENSORS_NAME, **state)
+    return path
+
+
+def _read_manifest(path: Path) -> dict:
+    manifest_path = path / MANIFEST_NAME
+    if not manifest_path.is_file():
+        raise BundleFormatError(f"no {MANIFEST_NAME} in {path}")
+    try:
+        with manifest_path.open("r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except json.JSONDecodeError as error:
+        raise BundleFormatError(f"corrupt {MANIFEST_NAME} in {path}: {error}") from error
+    version = manifest.get("format_version")
+    if version != FORMAT_VERSION:
+        raise BundleFormatError(
+            f"bundle format version {version!r} is not supported "
+            f"(expected {FORMAT_VERSION})"
+        )
+    if manifest.get("semantic_types") != list(SEMANTIC_TYPES):
+        raise BundleFormatError(
+            "bundle was trained against a different semantic type vocabulary"
+        )
+    return manifest
+
+
+def _build_column_model(column_config: dict) -> SherlockModel:
+    """Rebuild an unfitted column model from its ``config_dict``."""
+    training = TrainingConfig(**column_config["training"])
+    featurizer = ColumnFeaturizer(**column_config["featurizer"])
+    model_type = column_config.get("type")
+    if model_type == "TopicAwareModel":
+        intent_config = column_config["intent"]
+        estimator = TableIntentEstimator(
+            n_topics=intent_config["n_topics"],
+            max_tokens_per_table=intent_config["max_tokens_per_table"],
+        )
+        estimator.lda = LatentDirichletAllocation(**intent_config["lda"])
+        return TopicAwareModel(
+            featurizer=featurizer,
+            intent_estimator=estimator,
+            config=training,
+            n_classes=column_config["n_classes"],
+            compress_topic=column_config["compress_topic"],
+        )
+    if model_type == "SherlockModel":
+        return SherlockModel(
+            featurizer=featurizer,
+            config=training,
+            n_classes=column_config["n_classes"],
+        )
+    raise BundleFormatError(f"unsupported column model type {model_type!r}")
+
+
+def load_model(path: str | Path) -> SatoModel:
+    """Load a fitted Sato model from a bundle directory (no retraining)."""
+    path = Path(path)
+    manifest = _read_manifest(path)
+    model_config = manifest["model"]
+
+    sato_raw = dict(model_config["sato"])
+    training = TrainingConfig(**sato_raw.pop("training"))
+    sato_config = SatoConfig(training=training, **sato_raw)
+
+    column_model = _build_column_model(model_config["column_model"])
+    model = SatoModel(config=sato_config, column_model=column_model)
+
+    tensors_path = path / TENSORS_NAME
+    if not tensors_path.is_file():
+        raise BundleFormatError(f"no {TENSORS_NAME} in {path}")
+    with np.load(tensors_path, allow_pickle=False) as archive:
+        state = {key: archive[key] for key in archive.files}
+    expected_keys = manifest.get("tensor_keys")
+    if expected_keys is not None and sorted(state) != expected_keys:
+        missing = sorted(set(expected_keys) - set(state))
+        extra = sorted(set(state) - set(expected_keys))
+        raise BundleFormatError(
+            f"{TENSORS_NAME} does not match the manifest "
+            f"(missing: {missing}, unexpected: {extra})"
+        )
+    model.load_state_dict(state)
+
+    variant = model_config.get("variant")
+    if variant is not None and variant != model.name:
+        raise BundleFormatError(
+            f"manifest variant {variant!r} does not match the rebuilt "
+            f"model's variant {model.name!r}"
+        )
+    return model

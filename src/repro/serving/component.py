@@ -1,0 +1,48 @@
+"""The persistence protocol every stateful pipeline component implements.
+
+A *stateful component* is anything whose fitted state must survive the
+train-once / serve-many split: the featurizer, the embedding substrate, the
+LDA intent estimator, the column networks, the CRF and the composed models.
+Each one exposes three methods:
+
+``config_dict()``
+    JSON-serialisable constructor configuration — enough to rebuild an
+    *unfitted* twin of the component.
+``state_dict()``
+    A flat ``str -> np.ndarray`` mapping of fitted state.  Composite
+    components namespace their children with dotted prefixes
+    (``featurizer.word.vectors``), so a whole model flattens into one
+    mapping that round-trips through a single ``.npz`` file.
+``load_state_dict(state)``
+    Restores the fitted state in place, leaving the component ready to
+    serve without retraining.
+
+The protocol is structural (:class:`typing.Protocol`): components implement
+the three methods without importing this module, so the model layers stay
+free of serving dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = ["StatefulComponent"]
+
+
+@runtime_checkable
+class StatefulComponent(Protocol):
+    """Structural interface of every persistable pipeline component."""
+
+    def config_dict(self) -> dict:
+        """JSON-serialisable configuration to rebuild an unfitted twin."""
+        ...
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Flat mapping of all fitted state, namespaced with dotted keys."""
+        ...
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore fitted state produced by :meth:`state_dict`."""
+        ...

@@ -1,0 +1,198 @@
+"""Batched inference facade with a column-level feature cache.
+
+The training path is expensive and rare; the serving path must be cheap and
+repeatable.  :class:`Predictor` wraps a fitted
+:class:`~repro.models.sato.SatoModel` and serves batches of tables through
+
+1. **one** featurization pass — every column of every table in the batch is
+   featurized together (cache misses only), instead of per-column Python
+   loops per table,
+2. **one** column-network forward pass over all columns of the batch, and
+3. a cheap per-table structured decode (Viterbi / marginals) on top of the
+   shared column-wise scores.
+
+Featurized columns are memoised in an LRU cache keyed on a fingerprint of
+the column's content, so repeated traffic over the same columns (the common
+case for dashboard-style workloads) skips featurization entirely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Sequence
+
+import numpy as np
+
+from repro.models import SatoModel, TopicAwareModel
+from repro.serving.bundle import load_model
+from repro.tables import Column, Table
+
+__all__ = ["column_fingerprint", "LRUCache", "Predictor"]
+
+
+def column_fingerprint(column: Column) -> str:
+    """Content hash of a column's values (order-sensitive, header-blind).
+
+    Values are length-prefixed before hashing so that value boundaries are
+    unambiguous (``["ab", "c"]`` and ``["a", "bc"]`` hash differently).
+    Headers are excluded: they are never model input.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    for value in column.values:
+        encoded = value.encode("utf-8")
+        digest.update(len(encoded).to_bytes(4, "little"))
+        digest.update(encoded)
+    return digest.hexdigest()
+
+
+class LRUCache:
+    """A bounded least-recently-used mapping with hit/miss accounting."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._entries: OrderedDict[str, np.ndarray] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> np.ndarray | None:
+        """Look up a key, refreshing its recency; counts a hit or a miss."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: str, value: np.ndarray) -> None:
+        """Insert a key, evicting the least recently used entry when full."""
+        if self.capacity == 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop all entries and reset the hit/miss counters."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+class Predictor:
+    """Serve predictions from a fitted Sato model, batched and cached."""
+
+    def __init__(self, model: SatoModel, cache_size: int = 4096) -> None:
+        if model.column_model.network is None:
+            raise RuntimeError("Predictor requires a fitted model")
+        self.model = model
+        self.column_model = model.column_model
+        self.featurizer = model.column_model.featurizer
+        self.cache = LRUCache(cache_size)
+
+    @classmethod
+    def from_bundle(cls, path, cache_size: int = 4096) -> "Predictor":
+        """Build a predictor straight from a saved bundle directory."""
+        return cls(load_model(path), cache_size=cache_size)
+
+    # ------------------------------------------------------------- plumbing
+
+    def _batch_features(self, columns: Sequence[Column]) -> np.ndarray:
+        """Featurize a batch of columns, reusing cached feature vectors.
+
+        All cache misses are deduplicated by fingerprint and featurized in a
+        single vectorised :meth:`ColumnFeaturizer.transform_columns` call.
+        """
+        if not columns:
+            return np.zeros((0, self.featurizer.n_features), dtype=np.float64)
+        keys = [column_fingerprint(column) for column in columns]
+        rows: list[np.ndarray | None] = [self.cache.get(key) for key in keys]
+        missing: OrderedDict[str, Column] = OrderedDict()
+        for key, row, column in zip(keys, rows, columns):
+            if row is None and key not in missing:
+                missing[key] = column
+        if missing:
+            computed = self.featurizer.transform_columns(list(missing.values()))
+            fresh = dict(zip(missing, computed))
+            for key, vector in fresh.items():
+                # Copy: a row view would pin the whole batch matrix in the
+                # cache, defeating eviction for large batches.
+                self.cache.put(key, vector.copy())
+            rows = [fresh[key] if row is None else row for key, row in zip(keys, rows)]
+        return np.stack(rows)
+
+    def _batch_topics(self, tables: Sequence[Table]) -> np.ndarray | None:
+        """Per-column topic matrix for the batch (None for topic-free models)."""
+        if not isinstance(self.column_model, TopicAwareModel):
+            return None
+        rows: list[np.ndarray] = []
+        for table in tables:
+            if not table.columns:
+                continue
+            vector = self.column_model.intent_estimator.topic_vector(table)
+            rows.append(np.tile(vector, (table.n_columns, 1)))
+        if not rows:
+            return np.zeros((0, self.column_model.n_topics))
+        return np.concatenate(rows, axis=0)
+
+    def _columnwise_proba(self, tables: Sequence[Table]) -> list[np.ndarray]:
+        """Column-wise class scores per table, from one batched forward pass."""
+        columns = [column for table in tables for column in table.columns]
+        n_classes = self.column_model.n_classes
+        if not columns:
+            return [np.zeros((0, n_classes)) for _ in tables]
+        features = self._batch_features(columns)
+        topics = self._batch_topics(tables)
+        probabilities = self.column_model.predict_proba_matrix(features, topics)
+        split: list[np.ndarray] = []
+        offset = 0
+        for table in tables:
+            split.append(probabilities[offset: offset + table.n_columns])
+            offset += table.n_columns
+        return split
+
+    # ------------------------------------------------------------- serving
+
+    def predict_proba_tables(self, tables: Sequence[Table]) -> list[np.ndarray]:
+        """Structured per-column type distributions for a batch of tables."""
+        tables = list(tables)
+        return [
+            self.model.marginals_from_proba(proba)
+            for proba in self._columnwise_proba(tables)
+        ]
+
+    def predict_tables(self, tables: Sequence[Table]) -> list[list[str]]:
+        """Predicted semantic types for every column of every table."""
+        tables = list(tables)
+        return [
+            self.model.labels_from_proba(proba)
+            for proba in self._columnwise_proba(tables)
+        ]
+
+    def predict_proba_table(self, table: Table) -> np.ndarray:
+        """Structured per-column type distributions for one table."""
+        return self.predict_proba_tables([table])[0]
+
+    def predict_table(self, table: Table) -> list[str]:
+        """Predicted semantic types for one table."""
+        return self.predict_tables([table])[0]
+
+    def cache_info(self) -> dict:
+        """Cache statistics of the serving hot path."""
+        return {
+            "size": len(self.cache),
+            "capacity": self.cache.capacity,
+            "hits": self.cache.hits,
+            "misses": self.cache.misses,
+        }

@@ -59,6 +59,27 @@ class Dictionary:
         self._fitted = True
         return self
 
+    @classmethod
+    def from_tokens(
+        cls,
+        tokens: Sequence[str],
+        no_below: int = 2,
+        no_above: float = 1.0,
+        max_size: int | None = 20000,
+    ) -> "Dictionary":
+        """Rebuild a fitted dictionary from an ordered token list.
+
+        Used when restoring a persisted LDA model: the token order *is* the
+        id assignment.
+        """
+        dictionary = cls(no_below=no_below, no_above=no_above, max_size=max_size)
+        dictionary.id_to_token = [str(t) for t in tokens]
+        dictionary.token_to_id = {
+            token: i for i, token in enumerate(dictionary.id_to_token)
+        }
+        dictionary._fitted = True
+        return dictionary
+
     def doc2ids(self, document: Sequence[str]) -> list[int]:
         """Convert a tokenised document to a list of token ids (OOV dropped)."""
         return [

@@ -66,6 +66,29 @@ class TableIntentEstimator:
         self._fitted = True
         return self
 
+    # -------------------------------------------------------- serialisation
+
+    def config_dict(self) -> dict:
+        """JSON-serialisable configuration, including the nested LDA config."""
+        return {
+            "n_topics": self.n_topics,
+            "max_tokens_per_table": self.max_tokens_per_table,
+            "lda": self.lda.config_dict(),
+        }
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Serialisable fitted state (the trained LDA model)."""
+        if not self._fitted:
+            raise RuntimeError("intent estimator is not fitted")
+        return {f"lda.{key}": value for key, value in self.lda.state_dict().items()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore state produced by :meth:`state_dict`."""
+        self.lda.load_state_dict(
+            {k[len("lda."):]: v for k, v in state.items() if k.startswith("lda.")}
+        )
+        self._fitted = True
+
     def topic_vector(self, table: Table) -> np.ndarray:
         """Infer the topic vector of one table."""
         if not self._fitted:

@@ -141,6 +141,40 @@ class LatentDirichletAllocation:
                 topic_token[new_topic, token] += 1
                 topic_totals[new_topic] += 1
 
+    # -------------------------------------------------------- serialisation
+
+    def config_dict(self) -> dict:
+        """JSON-serialisable constructor configuration."""
+        return {
+            "n_topics": self.n_topics,
+            "alpha": self.alpha,
+            "beta": self.beta,
+            "n_iterations": self.n_iterations,
+            "infer_iterations": self.infer_iterations,
+            "seed": self.seed,
+        }
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Serialisable fitted state: count matrices + dictionary order."""
+        if not self._fitted:
+            raise RuntimeError("LDA model is not fitted")
+        assert self.dictionary is not None
+        assert self.topic_token_counts is not None and self.topic_counts is not None
+        return {
+            "tokens": np.array(self.dictionary.id_to_token, dtype=np.str_),
+            "topic_token_counts": self.topic_token_counts.copy(),
+            "topic_counts": self.topic_counts.copy(),
+        }
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore state produced by :meth:`state_dict`."""
+        self.dictionary = Dictionary.from_tokens(state["tokens"].tolist())
+        self.topic_token_counts = np.asarray(
+            state["topic_token_counts"], dtype=np.float64
+        ).copy()
+        self.topic_counts = np.asarray(state["topic_counts"], dtype=np.float64).copy()
+        self._fitted = True
+
     # ------------------------------------------------------------- inference
 
     def transform(self, document: Sequence[str]) -> np.ndarray:

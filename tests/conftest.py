@@ -2,7 +2,9 @@
 
 Expensive objects (corpus, fitted featurizer, trained models) are
 session-scoped and use deliberately tiny configurations so the whole suite
-stays fast while still exercising every component end to end.
+stays fast while still exercising every component end to end.  Plain helper
+functions live in ``helpers.py`` so test modules can import them explicitly
+without colliding with ``benchmarks/conftest.py``.
 """
 
 from __future__ import annotations
@@ -11,47 +13,8 @@ import numpy as np
 import pytest
 
 from repro.corpus import CorpusConfig, CorpusGenerator
-from repro.features import ColumnFeaturizer
-from repro.models import SatoConfig, SatoModel, TrainingConfig
 
-
-TINY_TRAINING = TrainingConfig(
-    n_epochs=6,
-    learning_rate=3e-3,
-    batch_size=32,
-    subnet_dim=16,
-    hidden_dim=32,
-    dropout=0.1,
-    seed=0,
-)
-
-
-def tiny_featurizer() -> ColumnFeaturizer:
-    """A small featurizer suitable for unit tests."""
-    return ColumnFeaturizer(word_dim=12, para_dim=8, seed=0)
-
-
-def tiny_sato_config(use_topic: bool, use_struct: bool) -> SatoConfig:
-    """A small Sato configuration for unit tests."""
-    return SatoConfig(
-        use_topic=use_topic,
-        use_struct=use_struct,
-        n_topics=6,
-        training=TINY_TRAINING,
-        crf_epochs=3,
-        seed=0,
-    )
-
-
-def make_tiny_model(use_topic: bool, use_struct: bool) -> SatoModel:
-    """Build an unfitted tiny Sato variant."""
-    model = SatoModel(
-        config=tiny_sato_config(use_topic, use_struct), featurizer=tiny_featurizer()
-    )
-    if use_topic:
-        model.column_model.intent_estimator.lda.n_iterations = 5
-        model.column_model.intent_estimator.lda.infer_iterations = 5
-    return model
+from helpers import make_tiny_model, tiny_featurizer
 
 
 @pytest.fixture(scope="session")

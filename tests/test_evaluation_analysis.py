@@ -20,7 +20,7 @@ from repro.evaluation.embeddings import project_jointly
 from repro.evaluation.qualitative import CorrectionExample
 from repro.tables import Column, Table
 
-from conftest import make_tiny_model
+from helpers import make_tiny_model
 
 
 class TestPerTypeComparison:

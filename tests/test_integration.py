@@ -7,7 +7,7 @@ from repro.evaluation.cross_validation import collect_predictions
 from repro.evaluation.metrics import classification_report
 from repro.tables import Column, Table
 
-from conftest import make_tiny_model
+from helpers import make_tiny_model
 
 
 class TestEndToEnd:

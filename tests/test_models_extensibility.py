@@ -5,7 +5,7 @@ import pytest
 from repro.models import SatoConfig, SatoModel
 from repro.types import SEMANTIC_TYPES
 
-from conftest import TINY_TRAINING
+from helpers import TINY_TRAINING
 
 
 class TestFitStructured:
