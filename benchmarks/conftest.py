@@ -9,6 +9,7 @@ Regenerated reports are printed and written to ``benchmarks/results/``.
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -39,6 +40,18 @@ def emit(name: str, text: str) -> None:
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
     print()
     print(text)
+
+
+def emit_json(name: str, payload: dict) -> Path:
+    """Persist a machine-readable result under benchmarks/results/.
+
+    CI uploads these as artifacts so that numbers like columns/sec are a
+    tracked series, not a one-off claim in a PR description.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def run_once(benchmark, function, *args, **kwargs):

@@ -35,7 +35,7 @@ from repro.models import (
 from repro.evaluation import classification_report, evaluate_model_cv
 from repro.serving import Predictor, load_model, save_model
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "SEMANTIC_TYPES",

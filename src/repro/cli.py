@@ -4,7 +4,8 @@ Subcommands::
 
     repro-sato generate  --n-tables 500 --out corpus.jsonl
     repro-sato train     --corpus corpus.jsonl --out model/
-    repro-sato predict   --model model/ --csv mytable.csv
+    repro-sato predict   --model model/ --csv mytable.csv \
+                         --feature-backend vectorized --workers 4
     repro-sato evaluate  --corpus corpus.jsonl --variant Sato --k 3
     repro-sato report    --preset tiny
 
@@ -57,6 +58,7 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--out", required=True, help="output bundle directory")
     train.add_argument("--variant", choices=MODEL_VARIANTS, default="Sato")
     train.add_argument("--epochs", type=int, default=15)
+    _add_backend_arguments(train)
 
     evaluate = subparsers.add_parser("evaluate", help="cross-validate a model variant")
     evaluate.add_argument("--corpus", required=True, help="corpus JSONL path")
@@ -88,10 +90,28 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="epochs for the --corpus fallback (default 15)",
     )
+    _add_backend_arguments(predict)
 
     report = subparsers.add_parser("report", help="regenerate the Table 1 summary")
     report.add_argument("--preset", choices=["tiny", "fast", "large"], default="tiny")
     return parser
+
+
+def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--feature-backend",
+        choices=("loop", "vectorized"),
+        default="vectorized",
+        help="featurization backend: vectorized array ops (default) or the "
+        "per-value Python reference loop",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="shard featurization batches across N worker processes "
+        "(vectorized backend only; 0 = in-process)",
+    )
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -115,6 +135,7 @@ def _build_variant(variant: str, epochs: int):
 def _cmd_train(args: argparse.Namespace) -> int:
     tables = tables_from_jsonl(args.corpus)
     model = _build_variant(args.variant, args.epochs)
+    model.set_feature_backend(args.feature_backend, args.workers)
     started = time.perf_counter()
     model.fit(tables)
     elapsed = time.perf_counter() - started
@@ -163,7 +184,11 @@ def _cmd_predict(args: argparse.Namespace) -> int:
             )
             return 2
         try:
-            predictor = Predictor.from_bundle(args.model)
+            predictor = Predictor.from_bundle(
+                args.model,
+                feature_backend=args.feature_backend,
+                workers=args.workers,
+            )
         except BundleFormatError as error:
             print(f"cannot load model bundle: {error}", file=sys.stderr)
             return 2
@@ -171,6 +196,7 @@ def _cmd_predict(args: argparse.Namespace) -> int:
         variant = "Sato" if args.variant is None else args.variant
         epochs = 15 if args.epochs is None else args.epochs
         model = _build_variant(variant, epochs)
+        model.set_feature_backend(args.feature_backend, args.workers)
         model.fit(tables_from_jsonl(args.corpus))
         predictor = Predictor(model)
     tables = [table_from_csv(path) for path in args.csv]

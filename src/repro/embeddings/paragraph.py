@@ -40,6 +40,15 @@ class ParagraphEmbedder:
         """Whether :meth:`fit` has been called."""
         return self._fitted
 
+    @property
+    def projection(self) -> np.ndarray | None:
+        """The random projection matrix (None when dims already match)."""
+        return self._projection
+
+    def idf_weight(self, token: str) -> float:
+        """The idf weight of a token (1.0 for tokens unseen during fit)."""
+        return self._idf.get(token, 1.0)
+
     def fit(self, documents: Iterable[Sequence[str]]) -> "ParagraphEmbedder":
         """Estimate idf weights (and the projection) from tokenised documents."""
         documents = [list(doc) for doc in documents]

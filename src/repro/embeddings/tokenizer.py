@@ -11,9 +11,13 @@ from __future__ import annotations
 import re
 from typing import Iterable
 
-__all__ = ["tokenize", "tokenize_values", "number_shape_token"]
+__all__ = ["TOKEN_RE", "tokenize", "tokenize_values", "number_shape_token"]
 
-_TOKEN_RE = re.compile(r"[a-z]+|[0-9]+")
+#: The token pattern, exposed so that batched featurization backends can run
+#: the exact same scan in a single pass over joined column text.
+TOKEN_RE = re.compile(r"[a-z]+|[0-9]+")
+
+_TOKEN_RE = TOKEN_RE
 
 
 def number_shape_token(digits: str) -> str:

@@ -32,6 +32,8 @@ class ExperimentConfig:
     # Featurizer
     word_dim: int = 24
     para_dim: int = 16
+    feature_backend: str = "vectorized"
+    feature_workers: int = 0
 
     # Topic model
     n_topics: int = 24

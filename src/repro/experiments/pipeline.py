@@ -76,7 +76,11 @@ def _training_config(config: ExperimentConfig) -> TrainingConfig:
 
 def _featurizer(config: ExperimentConfig) -> ColumnFeaturizer:
     return ColumnFeaturizer(
-        word_dim=config.word_dim, para_dim=config.para_dim, seed=config.seed
+        word_dim=config.word_dim,
+        para_dim=config.para_dim,
+        seed=config.seed,
+        backend=config.feature_backend,
+        workers=config.feature_workers,
     )
 
 

@@ -12,13 +12,21 @@ only object models consume.
 from repro.features.char_features import CHAR_FEATURE_NAMES, char_features
 from repro.features.stats_features import STAT_FEATURE_NAMES, column_statistics
 from repro.features.featurizer import ColumnFeaturizer, FeatureGroup, FeatureMatrix
+from repro.features.engine import (
+    VectorizedEngine,
+    char_features_batch,
+    stats_features_batch,
+)
 
 __all__ = [
     "CHAR_FEATURE_NAMES",
     "char_features",
+    "char_features_batch",
     "STAT_FEATURE_NAMES",
     "column_statistics",
+    "stats_features_batch",
     "ColumnFeaturizer",
     "FeatureGroup",
     "FeatureMatrix",
+    "VectorizedEngine",
 ]

@@ -14,6 +14,7 @@ The per-group index slices are exposed so that
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
@@ -81,7 +82,19 @@ class ColumnFeaturizer:
         cost of very long columns bounded).
     standardize:
         Whether to z-score features using statistics from :meth:`fit`.
+    backend:
+        Featurization backend: ``"vectorized"`` (the default — batched NumPy
+        array ops via :class:`~repro.features.engine.VectorizedEngine`) or
+        ``"loop"`` (the per-value Python reference implementation, kept as
+        the parity oracle).
+    workers:
+        When > 1 and the backend is ``"vectorized"``, large batches are
+        partitioned into contiguous column shards featurized by a process
+        pool and reassembled in stable input order.  ``0``/``1`` featurize
+        in-process.
     """
+
+    BACKENDS = ("loop", "vectorized")
 
     def __init__(
         self,
@@ -91,13 +104,21 @@ class ColumnFeaturizer:
         standardize: bool = True,
         min_token_count: int = 2,
         seed: int = 0,
+        backend: str = "vectorized",
+        workers: int = 0,
     ) -> None:
+        if backend not in self.BACKENDS:
+            raise ValueError(f"unknown feature backend {backend!r}")
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
         self.word_dim = word_dim
         self.para_dim = para_dim
         self.max_tokens_per_column = max_tokens_per_column
         self.standardize = standardize
         self.min_token_count = min_token_count
         self.seed = seed
+        self.backend = backend
+        self.workers = workers
         self.word_model = WordEmbeddingModel(
             dim=word_dim, min_count=min_token_count, seed=seed
         )
@@ -107,6 +128,7 @@ class ColumnFeaturizer:
         self._mean: np.ndarray | None = None
         self._std: np.ndarray | None = None
         self._groups: tuple[FeatureGroup, ...] | None = None
+        self._engine = None
         self._fitted = False
 
     # ------------------------------------------------------------------ fit
@@ -144,6 +166,7 @@ class ColumnFeaturizer:
     def fit(self, tables: Iterable[Table]) -> "ColumnFeaturizer":
         """Fit the embedding substrate and the standardiser on training tables."""
         tables = list(tables)
+        self._reset_engine()
         documents = [
             tokenize_values(column.values)[: self.max_tokens_per_column]
             for table in tables
@@ -151,23 +174,86 @@ class ColumnFeaturizer:
         ]
         self.word_model.fit(documents)
         self.paragraph_embedder.fit(documents)
-        if self.standardize and tables:
-            raw = np.stack(
-                [
-                    self._raw_features(column)
-                    for table in tables
-                    for column in table.columns
-                ]
-            )
+        # The embedding substrate is fitted, which is everything transform
+        # (and a sharding worker pool's state_dict) needs; flip the flag now
+        # so the standardiser pass below can run through the full backend.
+        self._mean = None
+        self._std = None
+        self._fitted = True
+        columns = [column for table in tables for column in table.columns]
+        if self.standardize and columns:
+            try:
+                raw = self._raw_matrix(columns)
+            except BaseException:
+                # A failed standardiser pass (worker pool spawn, engine
+                # error) must not leave a "fitted" featurizer that silently
+                # serves unstandardized features.
+                self._fitted = False
+                raise
             self._mean = raw.mean(axis=0)
             self._std = raw.std(axis=0)
             self._std[self._std < 1e-8] = 1.0
-        self._fitted = True
         return self
 
     # ------------------------------------------------------------ transform
 
+    @property
+    def engine(self):
+        """The vectorized featurization engine (built lazily, reset on refit)."""
+        if self._engine is None:
+            from repro.features.engine import VectorizedEngine
+
+            self._engine = VectorizedEngine(self)
+        return self._engine
+
+    def _reset_engine(self) -> None:
+        if self._engine is not None:
+            self._engine.close()
+            self._engine = None
+
+    def close(self) -> None:
+        """Release engine resources (worker pool, memos).
+
+        Safe to call at any time: the featurizer stays fully usable and
+        rebuilds its engine (and pool) lazily on the next transform.
+        """
+        self._reset_engine()
+
+    def runtime_clone(
+        self, backend: str | None = None, workers: int | None = None
+    ) -> "ColumnFeaturizer":
+        """A copy with independent runtime settings but shared fitted state.
+
+        The clone aliases the (immutable once fitted) embedding substrate
+        and standardiser arrays, but owns its backend/workers settings and
+        its engine (memos, worker pool), so reconfiguring or closing it
+        never affects the original — every :class:`~repro.serving.Predictor`
+        serves through its own clone.
+        """
+        clone = copy.copy(self)
+        clone._engine = None
+        if backend is not None or workers is not None:
+            clone.set_backend(backend or clone.backend, workers)
+        return clone
+
+    def set_backend(self, backend: str, workers: int | None = None) -> "ColumnFeaturizer":
+        """Switch the featurization backend (and optionally the worker count).
+
+        The backend is runtime behaviour, not fitted state: switching never
+        invalidates the embedding substrate or the standardiser, and the two
+        backends produce the same features to floating-point round-off.
+        """
+        if backend not in self.BACKENDS:
+            raise ValueError(f"unknown feature backend {backend!r}")
+        self.backend = backend
+        if workers is not None:
+            if workers < 0:
+                raise ValueError("workers must be >= 0")
+            self.workers = workers
+        return self
+
     def _raw_features(self, column: Column) -> np.ndarray:
+        """The loop (oracle) backend: featurize one column in pure Python."""
         tokens = tokenize_values(column.values)[: self.max_tokens_per_column]
         char_vector = char_features(column.values)
         word_vector = self.word_model.mean_vector(tokens)
@@ -175,14 +261,15 @@ class ColumnFeaturizer:
         stat_vector = column_statistics(column.values)
         return np.concatenate([char_vector, word_vector, para_vector, stat_vector])
 
+    def _raw_matrix(self, columns: Sequence[Column]) -> np.ndarray:
+        """Raw (unstandardized) features for a batch, via the active backend."""
+        if self.backend == "vectorized":
+            return self.engine.transform(columns)
+        return np.stack([self._raw_features(column) for column in columns])
+
     def transform_column(self, column: Column) -> np.ndarray:
         """Featurize one column."""
-        if not self._fitted:
-            raise RuntimeError("featurizer must be fitted before transform")
-        features = self._raw_features(column)
-        if self.standardize and self._mean is not None and self._std is not None:
-            features = (features - self._mean) / self._std
-        return features
+        return self.transform_columns([column])[0]
 
     def transform_table(self, table: Table) -> np.ndarray:
         """Featurize all columns of a table, returning an (m, n_features) matrix."""
@@ -191,35 +278,38 @@ class ColumnFeaturizer:
     def transform_columns(self, columns: Sequence[Column]) -> np.ndarray:
         """Featurize a batch of columns into an (m, n_features) matrix.
 
-        Raw features are stacked first and standardised in one vectorised
-        operation, which is the building block of the batched serving path.
+        Raw features are computed for the whole batch at once (array ops
+        under the vectorized backend, a Python loop under the loop backend)
+        and standardised in one vectorised operation; this is the building
+        block of both the training path and the batched serving path.
         """
-        if not self._fitted:
-            raise RuntimeError("featurizer must be fitted before transform")
         if not columns:
             return np.zeros((0, self.n_features), dtype=np.float64)
-        raw = np.stack([self._raw_features(column) for column in columns])
+        if not self._fitted:
+            raise RuntimeError("featurizer must be fitted before transform")
+        raw = self._raw_matrix(columns)
         if self.standardize and self._mean is not None and self._std is not None:
             raw = (raw - self._mean) / self._std
         return raw
 
     def transform_tables(self, tables: Sequence[Table]) -> FeatureMatrix:
-        """Featurize every column of every table into one feature matrix."""
-        rows: list[np.ndarray] = []
+        """Featurize every column of every table into one feature matrix.
+
+        All columns of all tables are featurized in a single batched
+        :meth:`transform_columns` call, so the training path goes through
+        the same vectorized (and optionally sharded) code as serving.
+        """
+        columns: list[Column] = []
         labels: list[str | None] = []
         table_ids: list[str | None] = []
         positions: list[int] = []
         for table in tables:
             for position, column in enumerate(table.columns):
-                rows.append(self.transform_column(column))
+                columns.append(column)
                 labels.append(column.semantic_type)
                 table_ids.append(table.table_id)
                 positions.append(position)
-        matrix = (
-            np.stack(rows)
-            if rows
-            else np.zeros((0, self.n_features), dtype=np.float64)
-        )
+        matrix = self.transform_columns(columns)
         return FeatureMatrix(
             matrix=matrix,
             groups=self.groups,
@@ -239,6 +329,11 @@ class ColumnFeaturizer:
             "standardize": self.standardize,
             "min_token_count": self.min_token_count,
             "seed": self.seed,
+            "backend": self.backend,
+            # The worker count is deployment configuration, not model
+            # configuration: a bundle trained with --workers 8 must not
+            # silently spawn an 8-process pool on whatever box loads it.
+            "workers": 0,
         }
 
     def state_dict(self) -> dict[str, np.ndarray]:
@@ -257,6 +352,7 @@ class ColumnFeaturizer:
 
     def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
         """Restore state produced by :meth:`state_dict`."""
+        self._reset_engine()
         self.word_model.load_state_dict(
             {k[len("word."):]: v for k, v in state.items() if k.startswith("word.")}
         )

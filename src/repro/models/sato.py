@@ -112,6 +112,15 @@ class SatoModel(ColumnModel):
         """The single-column Base model wrapped in the Sato interface."""
         return cls(config=SatoConfig(use_topic=False, use_struct=False, **kwargs))
 
+    def set_feature_backend(self, backend: str, workers: int | None = None) -> "SatoModel":
+        """Switch the column featurization backend for training and serving.
+
+        Delegates to the column model's featurizer; see
+        :meth:`repro.features.featurizer.ColumnFeaturizer.set_backend`.
+        """
+        self.column_model.set_feature_backend(backend, workers)
+        return self
+
     # ------------------------------------------------------------- training
 
     def fit(self, tables: Sequence[Table]) -> "SatoModel":

@@ -46,7 +46,18 @@ TENSORS_NAME = "tensors.npz"
 
 
 class BundleFormatError(RuntimeError):
-    """Raised when a bundle directory cannot be (safely) loaded."""
+    """Raised when a bundle directory cannot be (safely) loaded.
+
+    Examples:
+        >>> import tempfile
+        >>> from repro.serving import BundleFormatError, load_model
+        >>> with tempfile.TemporaryDirectory() as empty:
+        ...     try:
+        ...         load_model(empty)
+        ...     except BundleFormatError:
+        ...         print("not a bundle")
+        not a bundle
+    """
 
 
 def save_model(model: SatoModel, path: str | Path) -> Path:
@@ -54,6 +65,21 @@ def save_model(model: SatoModel, path: str | Path) -> Path:
 
     Returns the bundle path.  Raises ``RuntimeError`` when the model (or any
     of its components) is not fitted.
+
+    Examples:
+        >>> import tempfile
+        >>> from repro.corpus import CorpusConfig, CorpusGenerator
+        >>> from repro.models import SatoConfig, SatoModel, TrainingConfig
+        >>> tables = CorpusGenerator(CorpusConfig(n_tables=5, seed=1)).generate()
+        >>> config = SatoConfig(use_topic=False, use_struct=False,
+        ...                     training=TrainingConfig(n_epochs=1,
+        ...                                             subnet_dim=4,
+        ...                                             hidden_dim=8))
+        >>> model = SatoModel(config=config).fit(tables)
+        >>> with tempfile.TemporaryDirectory() as root:
+        ...     bundle = save_model(model, root + "/bundle")
+        ...     sorted(p.name for p in bundle.iterdir())
+        ['manifest.json', 'tensors.npz']
     """
     path = Path(path)
     state = model.state_dict()
@@ -127,7 +153,24 @@ def _build_column_model(column_config: dict) -> SherlockModel:
 
 
 def load_model(path: str | Path) -> SatoModel:
-    """Load a fitted Sato model from a bundle directory (no retraining)."""
+    """Load a fitted Sato model from a bundle directory (no retraining).
+
+    Examples:
+        >>> import tempfile
+        >>> from repro.corpus import CorpusConfig, CorpusGenerator
+        >>> from repro.models import SatoConfig, SatoModel, TrainingConfig
+        >>> tables = CorpusGenerator(CorpusConfig(n_tables=5, seed=1)).generate()
+        >>> config = SatoConfig(use_topic=False, use_struct=False,
+        ...                     training=TrainingConfig(n_epochs=1,
+        ...                                             subnet_dim=4,
+        ...                                             hidden_dim=8))
+        >>> model = SatoModel(config=config).fit(tables)
+        >>> with tempfile.TemporaryDirectory() as root:
+        ...     reloaded = load_model(save_model(model, root + "/bundle"))
+        ...     (reloaded.name, reloaded.predict_table(tables[0])
+        ...      == model.predict_table(tables[0]))
+        ('Base', True)
+    """
     path = Path(path)
     manifest = _read_manifest(path)
     model_config = manifest["model"]

@@ -33,7 +33,16 @@ __all__ = ["StatefulComponent"]
 
 @runtime_checkable
 class StatefulComponent(Protocol):
-    """Structural interface of every persistable pipeline component."""
+    """Structural interface of every persistable pipeline component.
+
+    Examples:
+        >>> from repro.features import ColumnFeaturizer
+        >>> from repro.serving import StatefulComponent
+        >>> isinstance(ColumnFeaturizer(), StatefulComponent)
+        True
+        >>> isinstance(object(), StatefulComponent)
+        False
+    """
 
     def config_dict(self) -> dict:
         """JSON-serialisable configuration to rebuild an unfitted twin."""

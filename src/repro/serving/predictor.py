@@ -19,6 +19,7 @@ case for dashboard-style workloads) skips featurization entirely.
 from __future__ import annotations
 
 import hashlib
+import weakref
 from collections import OrderedDict
 from typing import Sequence
 
@@ -37,6 +38,14 @@ def column_fingerprint(column: Column) -> str:
     Values are length-prefixed before hashing so that value boundaries are
     unambiguous (``["ab", "c"]`` and ``["a", "bc"]`` hash differently).
     Headers are excluded: they are never model input.
+
+    Examples:
+        >>> from repro.tables import Column
+        >>> a = column_fingerprint(Column(values=["ab", "c"]))
+        >>> a == column_fingerprint(Column(values=["ab", "c"], header="other"))
+        True
+        >>> a == column_fingerprint(Column(values=["a", "bc"]))
+        False
     """
     digest = hashlib.blake2b(digest_size=16)
     for value in column.values:
@@ -47,7 +56,20 @@ def column_fingerprint(column: Column) -> str:
 
 
 class LRUCache:
-    """A bounded least-recently-used mapping with hit/miss accounting."""
+    """A bounded least-recently-used mapping with hit/miss accounting.
+
+    Examples:
+        >>> import numpy as np
+        >>> cache = LRUCache(capacity=2)
+        >>> cache.put("a", np.zeros(2)); cache.put("b", np.ones(2))
+        >>> cache.get("a") is not None   # refreshes "a", counts a hit
+        True
+        >>> cache.put("c", np.full(2, 2.0))   # evicts "b" (least recent)
+        >>> "b" in cache
+        False
+        >>> (cache.hits, cache.misses)
+        (1, 0)
+    """
 
     def __init__(self, capacity: int) -> None:
         if capacity < 0:
@@ -91,22 +113,94 @@ class LRUCache:
 
 
 class Predictor:
-    """Serve predictions from a fitted Sato model, batched and cached."""
+    """Serve predictions from a fitted Sato model, batched and cached.
 
-    def __init__(self, model: SatoModel, cache_size: int = 4096) -> None:
+    Parameters
+    ----------
+    model:
+        A fitted :class:`~repro.models.sato.SatoModel`.
+    cache_size:
+        Capacity of the column-feature LRU cache.
+    feature_backend:
+        Optional featurization backend override (``"loop"`` or
+        ``"vectorized"``) applied to the model's featurizer.
+    workers:
+        Optional process-pool shard count for the vectorized backend.
+
+    Columns are treated as immutable snapshots: both the feature cache and
+    the per-object fingerprint memo assume a :class:`Column`'s values never
+    change after it is first served.
+
+    Examples:
+        >>> from repro.corpus import CorpusConfig, CorpusGenerator
+        >>> from repro.models import SatoConfig, SatoModel, TrainingConfig
+        >>> tables = CorpusGenerator(CorpusConfig(n_tables=6, seed=2)).generate()
+        >>> config = SatoConfig(use_topic=False, use_struct=False,
+        ...                     training=TrainingConfig(n_epochs=1,
+        ...                                             subnet_dim=4,
+        ...                                             hidden_dim=8))
+        >>> predictor = Predictor(SatoModel(config=config).fit(tables))
+        >>> labels = predictor.predict_table(tables[0])
+        >>> len(labels) == tables[0].n_columns
+        True
+    """
+
+    def __init__(
+        self,
+        model: SatoModel,
+        cache_size: int = 4096,
+        feature_backend: str | None = None,
+        workers: int | None = None,
+    ) -> None:
         if model.column_model.network is None:
             raise RuntimeError("Predictor requires a fitted model")
         self.model = model
         self.column_model = model.column_model
-        self.featurizer = model.column_model.featurizer
+        # A runtime clone shares all fitted state but owns its backend /
+        # worker settings and engine, so two predictors over the same model
+        # (or the model's own training featurizer) never fight over them.
+        self.featurizer = model.column_model.featurizer.runtime_clone(
+            backend=feature_backend, workers=workers
+        )
         self.cache = LRUCache(cache_size)
+        self._fingerprints: dict[int, tuple[weakref.ref, str]] = {}
 
     @classmethod
-    def from_bundle(cls, path, cache_size: int = 4096) -> "Predictor":
+    def from_bundle(
+        cls,
+        path,
+        cache_size: int = 4096,
+        feature_backend: str | None = None,
+        workers: int | None = None,
+    ) -> "Predictor":
         """Build a predictor straight from a saved bundle directory."""
-        return cls(load_model(path), cache_size=cache_size)
+        return cls(
+            load_model(path),
+            cache_size=cache_size,
+            feature_backend=feature_backend,
+            workers=workers,
+        )
 
     # ------------------------------------------------------------- plumbing
+
+    def _fingerprint(self, column: Column) -> str:
+        """Fingerprint a column, memoised per live column object.
+
+        Repeated traffic usually re-sends the same :class:`Column` objects
+        (dashboards keep tables alive between refreshes); hashing their
+        values once instead of on every call keeps the cache-hit path free
+        of per-value work.  Entries are keyed on object identity and evicted
+        by a weakref callback when the column is garbage collected.
+        """
+        key_id = id(column)
+        entry = self._fingerprints.get(key_id)
+        if entry is not None and entry[0]() is column:
+            return entry[1]
+        fingerprint = column_fingerprint(column)
+        memo = self._fingerprints
+        reference = weakref.ref(column, lambda _, k=key_id, m=memo: m.pop(k, None))
+        memo[key_id] = (reference, fingerprint)
+        return fingerprint
 
     def _batch_features(self, columns: Sequence[Column]) -> np.ndarray:
         """Featurize a batch of columns, reusing cached feature vectors.
@@ -116,7 +210,7 @@ class Predictor:
         """
         if not columns:
             return np.zeros((0, self.featurizer.n_features), dtype=np.float64)
-        keys = [column_fingerprint(column) for column in columns]
+        keys = [self._fingerprint(column) for column in columns]
         rows: list[np.ndarray | None] = [self.cache.get(key) for key in keys]
         missing: OrderedDict[str, Column] = OrderedDict()
         for key, row, column in zip(keys, rows, columns):
@@ -188,6 +282,15 @@ class Predictor:
         """Predicted semantic types for one table."""
         return self.predict_tables([table])[0]
 
+    def close(self) -> None:
+        """Release featurization resources (worker pool, engine memos).
+
+        The predictor stays usable; the engine rebuilds lazily on the next
+        prediction.  Call this when tearing down a server that used
+        ``workers > 1`` so the shard processes exit promptly.
+        """
+        self.featurizer.close()
+
     def cache_info(self) -> dict:
         """Cache statistics of the serving hot path."""
         return {
@@ -195,4 +298,5 @@ class Predictor:
             "capacity": self.cache.capacity,
             "hits": self.cache.hits,
             "misses": self.cache.misses,
+            "fingerprints": len(self._fingerprints),
         }

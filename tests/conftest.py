@@ -55,6 +55,32 @@ def trained_base(train_test_tables):
     return model
 
 
+#: The four paper variants: name -> (use_topic, use_struct).
+MODEL_VARIANTS = {
+    "Base": (False, False),
+    "Sato": (True, True),
+    "SatoNoStruct": (True, False),
+    "SatoNoTopic": (False, True),
+}
+
+
+@pytest.fixture(scope="session")
+def serving_split(train_test_tables):
+    train, test = train_test_tables
+    return train[:30], test[:8]
+
+
+@pytest.fixture(scope="session", params=sorted(MODEL_VARIANTS))
+def fitted_variant(request, serving_split):
+    """One fitted model per paper variant, shared across test modules."""
+    train, _ = serving_split
+    use_topic, use_struct = MODEL_VARIANTS[request.param]
+    model = make_tiny_model(use_topic=use_topic, use_struct=use_struct)
+    model.fit(train)
+    assert model.name == request.param
+    return model
+
+
 @pytest.fixture(scope="session")
 def trained_sato(train_test_tables):
     train, _ = train_test_tables

@@ -1,0 +1,61 @@
+"""The documentation site stays internally consistent.
+
+Checks that every relative markdown link under ``docs/`` (and in the
+top-level ``README.md`` / ``ROADMAP.md``) resolves to a real file, and that
+in-page anchors point at headings that exist.  External (``http``) links
+are out of scope — CI must not depend on the network.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+DOCUMENTS = sorted(
+    [REPO_ROOT / "README.md", REPO_ROOT / "ROADMAP.md"]
+    + list((REPO_ROOT / "docs").glob("*.md"))
+)
+
+_LINK_RE = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.+?)\s*$", re.MULTILINE)
+
+
+def _slugify(heading: str) -> str:
+    """GitHub-style anchor slug for a markdown heading."""
+    heading = re.sub(r"[`*_]", "", heading.strip().lower())
+    heading = re.sub(r"[^\w\- ]", "", heading)
+    return heading.replace(" ", "-")
+
+
+def _anchors(path: Path) -> set[str]:
+    return {_slugify(m.group(1)) for m in _HEADING_RE.finditer(path.read_text())}
+
+
+def test_docs_directory_exists():
+    assert (REPO_ROOT / "docs").is_dir()
+    names = {p.name for p in (REPO_ROOT / "docs").glob("*.md")}
+    assert {"architecture.md", "serving.md", "performance.md"} <= names
+
+
+@pytest.mark.parametrize("document", DOCUMENTS, ids=lambda p: p.name)
+def test_internal_links_resolve(document):
+    text = document.read_text(encoding="utf-8")
+    problems = []
+    for match in _LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, anchor = target.partition("#")
+        resolved = (
+            document if not path_part else (document.parent / path_part).resolve()
+        )
+        if not resolved.exists():
+            problems.append(f"{target}: file {path_part} does not exist")
+            continue
+        if anchor and resolved.suffix == ".md" and anchor not in _anchors(resolved):
+            problems.append(f"{target}: no heading for anchor #{anchor}")
+    assert not problems, f"broken links in {document.name}: {problems}"

@@ -1,0 +1,61 @@
+"""Doctest pass over the documented hot-path packages.
+
+Every public class/function in ``repro.serving`` and the vectorized
+featurization engine carries an ``Examples:`` block; this module executes
+them so the documentation cannot silently rot.  Kept inside ``tests/`` so
+the tier-1 run (`pytest -x -q`) exercises the examples without extra flags.
+"""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.features.engine
+import repro.serving
+import repro.serving.bundle
+import repro.serving.component
+import repro.serving.predictor
+
+DOCUMENTED_MODULES = [
+    repro.features.engine,
+    repro.serving,
+    repro.serving.bundle,
+    repro.serving.component,
+    repro.serving.predictor,
+]
+
+PUBLIC_EXAMPLE_PACKAGES = {
+    repro.serving.bundle: ["save_model", "load_model", "BundleFormatError"],
+    repro.serving.component: ["StatefulComponent"],
+    repro.serving.predictor: ["column_fingerprint", "LRUCache", "Predictor"],
+    repro.features.engine: [
+        "VectorizedEngine",
+        "char_features_batch",
+        "stats_features_batch",
+    ],
+}
+
+
+@pytest.mark.parametrize(
+    "module", DOCUMENTED_MODULES, ids=lambda m: m.__name__
+)
+def test_module_doctests_pass(module, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)  # examples writing artifacts stay sandboxed
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failure(s) in {module.__name__}"
+
+
+@pytest.mark.parametrize(
+    "module", sorted(PUBLIC_EXAMPLE_PACKAGES, key=lambda m: m.__name__),
+    ids=lambda m: m.__name__,
+)
+def test_public_api_has_runnable_examples(module):
+    """Every public name keeps a docstring with at least one doctest."""
+    finder = doctest.DocTestFinder(exclude_empty=True)
+    for name in PUBLIC_EXAMPLE_PACKAGES[module]:
+        obj = getattr(module, name)
+        assert obj.__doc__, f"{module.__name__}.{name} has no docstring"
+        tests = [t for t in finder.find(obj, name=name) if t.examples]
+        assert tests, f"{module.__name__}.{name} has no runnable Examples block"

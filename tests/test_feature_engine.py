@@ -1,0 +1,279 @@
+"""Tests for the vectorized featurization engine.
+
+The loop backend is the oracle: every batched code path must agree with it
+``allclose`` (rtol 1e-6), worker sharding must be bit-identical to the
+in-process engine, and bundles written before the backend existed must keep
+loading.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.corpus import CorpusConfig, CorpusGenerator
+from repro.features import (
+    ColumnFeaturizer,
+    char_features,
+    char_features_batch,
+    column_statistics,
+    stats_features_batch,
+)
+from repro.serving import MANIFEST_NAME, Predictor, save_model
+import repro.serving.predictor as predictor_module
+from repro.tables import Column, Table
+
+from helpers import tiny_featurizer
+
+RTOL, ATOL = 1e-6, 1e-9
+
+EDGE_COLUMNS = [
+    ["Paris", "Rome", "New York"],
+    ["12", "94", "-3.5", "$1,000", "50%", "1e4"],
+    ["", "  ", "\t", "a b  c"],
+    [],
+    ["", ""],
+    ["same", "same", "same", "other"],
+    ["ABC", "DeF", "ǅungla", "İstanbul", "ΣΙΓΜΑΣ", "ümlaut"],
+    ["inf", "nan", "0", "000"],
+    ["x"],
+    ["emoji 🎉 mix 123", "line\nbreak", "  padded  "],
+    ["a\ud800b", "lone\udfffsurrogate"],  # reachable via JSONL corpora
+]
+
+
+class TestBatchOracles:
+    def test_char_features_batch_matches_oracle(self):
+        batch = char_features_batch(EDGE_COLUMNS)
+        for row, values in zip(batch, EDGE_COLUMNS):
+            np.testing.assert_allclose(
+                row, char_features(values), rtol=RTOL, atol=ATOL
+            )
+
+    def test_stats_features_batch_matches_oracle(self):
+        batch = stats_features_batch(EDGE_COLUMNS)
+        for row, values in zip(batch, EDGE_COLUMNS):
+            np.testing.assert_allclose(
+                row, column_statistics(values), rtol=RTOL, atol=ATOL
+            )
+
+    def test_empty_batch(self):
+        assert char_features_batch([]).shape[0] == 0
+        assert stats_features_batch([]).shape[0] == 0
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_tables_property_parity(self, seed):
+        """Property-style: random corpora agree between the two backends."""
+        tables = CorpusGenerator(
+            CorpusConfig(n_tables=25, seed=seed, max_rows=9)
+        ).generate()
+        value_lists = [c.values for t in tables for c in t.columns]
+        chars = char_features_batch(value_lists)
+        stats = stats_features_batch(value_lists)
+        for i, values in enumerate(value_lists):
+            np.testing.assert_allclose(
+                chars[i], char_features(values), rtol=RTOL, atol=ATOL
+            )
+            np.testing.assert_allclose(
+                stats[i], column_statistics(values), rtol=RTOL, atol=ATOL
+            )
+
+
+class TestFeaturizerBackends:
+    @pytest.fixture(scope="class")
+    def backends(self, multi_column_tables):
+        featurizer = tiny_featurizer().set_backend("loop")
+        featurizer.fit(multi_column_tables)
+        columns = [c for t in multi_column_tables for c in t.columns]
+        loop = featurizer.transform_columns(columns)
+        featurizer.set_backend("vectorized")
+        vectorized = featurizer.transform_columns(columns)
+        return featurizer, columns, loop, vectorized
+
+    def test_vectorized_matches_loop(self, backends):
+        _, _, loop, vectorized = backends
+        np.testing.assert_allclose(vectorized, loop, rtol=RTOL, atol=ATOL)
+
+    def test_transform_tables_uses_batched_path(self, backends, multi_column_tables):
+        featurizer, columns, _, vectorized = backends
+        matrix = featurizer.transform_tables(multi_column_tables)
+        assert matrix.matrix.shape == (len(columns), featurizer.n_features)
+        np.testing.assert_array_equal(matrix.matrix, vectorized)
+
+    def test_workers_bit_identical_and_stable_order(self, backends):
+        featurizer, columns, _, vectorized = backends
+        try:
+            featurizer.set_backend("vectorized", workers=1)
+            one = featurizer.transform_columns(columns)
+            featurizer.set_backend("vectorized", workers=4)
+            four = featurizer.transform_columns(columns)
+        finally:
+            featurizer.set_backend("vectorized", workers=0)
+            featurizer.close()
+        np.testing.assert_array_equal(one, four)
+        np.testing.assert_array_equal(vectorized, four)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            ColumnFeaturizer(backend="gpu")
+        with pytest.raises(ValueError):
+            tiny_featurizer().set_backend("gpu")
+
+    def test_engine_reset_on_refit(self, multi_column_tables):
+        featurizer = tiny_featurizer()
+        featurizer.fit(multi_column_tables[:10])
+        first_engine = featurizer.engine
+        featurizer.fit(multi_column_tables[:10])
+        assert featurizer.engine is not first_engine
+
+    def test_trailing_tokenless_columns_do_not_truncate_segments(
+        self, multi_column_tables
+    ):
+        """Regression: a batch ending in token-less columns must not drop
+        the last token of the preceding column from its Word/Para sums."""
+        featurizer = tiny_featurizer().set_backend("loop")
+        featurizer.fit(multi_column_tables)
+        batch = [
+            Column(values=["12", "345", "6789", "12345"]),
+            Column(values=[" "]),       # whitespace only: zero tokens
+            Column(values=["...", ""]),  # punctuation only: zero tokens
+        ]
+        loop = featurizer.transform_columns(batch)
+        featurizer.set_backend("vectorized")
+        np.testing.assert_allclose(
+            featurizer.transform_columns(batch), loop, rtol=RTOL, atol=ATOL
+        )
+
+    def test_fit_with_workers_enabled(self, multi_column_tables):
+        """Regression: training with sharding configured must not crash on
+        the standardiser pass (the pool serialises a half-fitted featurizer)."""
+        tables = multi_column_tables[:12]
+        sharded = ColumnFeaturizer(word_dim=8, para_dim=4, workers=2)
+        try:
+            sharded.fit(tables)
+        finally:
+            sharded.close()
+        inline = ColumnFeaturizer(word_dim=8, para_dim=4).fit(tables)
+        columns = [c for t in tables for c in t.columns]
+        np.testing.assert_array_equal(
+            sharded.transform_columns(columns), inline.transform_columns(columns)
+        )
+        sharded.close()
+
+
+class TestVariantParity:
+    """The vectorized backend serves all four variants like the loop does."""
+
+    def test_all_variants_predict_identically(self, fitted_variant, serving_split):
+        _, test = serving_split
+        predictor = Predictor(fitted_variant)
+        featurizer = fitted_variant.column_model.featurizer
+        featurizer.set_backend("loop")
+        loop_proba = [fitted_variant.predict_proba_table(t) for t in test]
+        loop_labels = [fitted_variant.predict_table(t) for t in test]
+        featurizer.set_backend("vectorized")
+        for table, proba, labels in zip(test, loop_proba, loop_labels):
+            np.testing.assert_allclose(
+                fitted_variant.predict_proba_table(table), proba, rtol=1e-6, atol=1e-9
+            )
+            assert predictor.predict_table(table) == labels
+
+
+class TestBundleCompatibility:
+    def test_pre_backend_bundle_still_loads(self, trained_base, tmp_path, corpus_small):
+        """A bundle written before backend/workers existed keeps loading."""
+        bundle = save_model(trained_base, tmp_path / "bundle")
+        manifest_path = bundle / MANIFEST_NAME
+        manifest = json.loads(manifest_path.read_text())
+        featurizer_config = manifest["model"]["column_model"]["featurizer"]
+        # Simulate the format-version-1 manifest of PR 1: no backend keys.
+        featurizer_config.pop("backend")
+        featurizer_config.pop("workers")
+        manifest_path.write_text(json.dumps(manifest, indent=2, sort_keys=True))
+
+        predictor = Predictor.from_bundle(bundle)
+        assert predictor.featurizer.backend in ColumnFeaturizer.BACKENDS
+        table = corpus_small[0]
+        assert predictor.predict_table(table) == trained_base.predict_table(table)
+
+
+class TestRuntimeIsolation:
+    def test_bundle_never_persists_a_worker_count(self, trained_base, tmp_path):
+        trained_base.column_model.featurizer.set_backend("vectorized", workers=8)
+        try:
+            bundle = save_model(trained_base, tmp_path / "bundle")
+        finally:
+            trained_base.column_model.featurizer.set_backend("vectorized", workers=0)
+        manifest = json.loads((bundle / MANIFEST_NAME).read_text())
+        assert manifest["model"]["column_model"]["featurizer"]["workers"] == 0
+
+    def test_predictors_do_not_share_runtime_settings(self, trained_base):
+        sharded = Predictor(trained_base, workers=4)
+        looped = Predictor(trained_base, feature_backend="loop")
+        assert sharded.featurizer.workers == 4
+        assert sharded.featurizer.backend == "vectorized"
+        assert looped.featurizer.backend == "loop"
+        assert trained_base.column_model.featurizer.workers == 0
+        looped.close()  # must not touch the other predictor's settings
+        assert sharded.featurizer.workers == 4
+
+    def test_failed_standardizer_pass_leaves_featurizer_unfitted(
+        self, multi_column_tables, monkeypatch
+    ):
+        featurizer = tiny_featurizer()
+        monkeypatch.setattr(
+            type(featurizer),
+            "_raw_matrix",
+            lambda self, columns: (_ for _ in ()).throw(RuntimeError("boom")),
+        )
+        with pytest.raises(RuntimeError, match="boom"):
+            featurizer.fit(multi_column_tables[:5])
+        assert not featurizer.is_fitted
+
+
+class TestFingerprintMemo:
+    def test_cache_hit_columns_skip_fingerprinting(
+        self, trained_base, corpus_small, monkeypatch
+    ):
+        predictor = Predictor(trained_base)
+        table = corpus_small[0]
+        calls = {"n": 0}
+        original = predictor_module.column_fingerprint
+
+        def counting(column):
+            calls["n"] += 1
+            return original(column)
+
+        monkeypatch.setattr(predictor_module, "column_fingerprint", counting)
+        predictor.predict_table(table)
+        first = calls["n"]
+        assert first == table.n_columns
+        predictor.predict_table(table)  # same Column objects: memo hits
+        assert calls["n"] == first
+
+    def test_equal_but_distinct_columns_share_feature_cache(self, trained_base):
+        predictor = Predictor(trained_base)
+        make = lambda: Table(
+            columns=[
+                Column(values=["alpha", "beta", "gamma"]),
+                Column(values=["1", "2", "3"]),
+            ]
+        )
+        predictor.predict_table(make())
+        before = predictor.cache_info()
+        predictor.predict_table(make())  # new objects, same content
+        after = predictor.cache_info()
+        assert after["misses"] == before["misses"]
+        assert after["hits"] >= before["hits"] + 2
+
+    def test_memo_evicted_when_columns_are_collected(self, trained_base):
+        predictor = Predictor(trained_base)
+        predictor.predict_table(
+            Table(columns=[Column(values=["x", "y"]), Column(values=["1", "2"])])
+        )
+        import gc
+
+        gc.collect()
+        assert predictor.cache_info()["fingerprints"] == 0

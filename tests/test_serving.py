@@ -22,29 +22,6 @@ from repro.tables import Column, Table
 
 from helpers import make_tiny_model
 
-VARIANTS = {
-    "Base": (False, False),
-    "Sato": (True, True),
-    "SatoNoStruct": (True, False),
-    "SatoNoTopic": (False, True),
-}
-
-
-@pytest.fixture(scope="module")
-def serving_split(train_test_tables):
-    train, test = train_test_tables
-    return train[:30], test[:8]
-
-
-@pytest.fixture(scope="module", params=sorted(VARIANTS))
-def fitted_variant(request, serving_split):
-    train, _ = serving_split
-    use_topic, use_struct = VARIANTS[request.param]
-    model = make_tiny_model(use_topic=use_topic, use_struct=use_struct)
-    model.fit(train)
-    assert model.name == request.param
-    return model
-
 
 class TestBundleRoundTrip:
     def test_bundle_files_and_manifest_version(self, fitted_variant, tmp_path):
