@@ -33,9 +33,16 @@ from repro.models import (
     TrainingConfig,
 )
 from repro.evaluation import classification_report, evaluate_model_cv
-from repro.serving import Predictor, load_model, save_model
+from repro.serving import (
+    MicroBatcher,
+    Predictor,
+    ServingServer,
+    load_model,
+    save_model,
+    serve_in_thread,
+)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "SEMANTIC_TYPES",
@@ -61,5 +68,8 @@ __all__ = [
     "Predictor",
     "save_model",
     "load_model",
+    "MicroBatcher",
+    "ServingServer",
+    "serve_in_thread",
     "__version__",
 ]

@@ -6,6 +6,8 @@ Subcommands::
     repro-sato train     --corpus corpus.jsonl --out model/
     repro-sato predict   --model model/ --csv mytable.csv \
                          --feature-backend vectorized --workers 4
+    repro-sato serve     --model model/ --port 8080 \
+                         --max-batch-size 32 --max-wait-ms 2
     repro-sato evaluate  --corpus corpus.jsonl --variant Sato --k 3
     repro-sato report    --preset tiny
 
@@ -13,9 +15,10 @@ Subcommands::
 corpus and saves it as an artifact bundle, after which ``predict --model``
 loads the bundle and serves per-column predictions for CSV tables without
 retraining.  When ``--model`` is absent, ``predict --corpus`` falls back to
-the legacy retrain-per-call behaviour.  ``evaluate`` cross-validates one
-model variant and ``report`` regenerates the Table 1 summary for a
-configuration preset.
+the legacy retrain-per-call behaviour.  ``serve`` exposes a bundle over
+HTTP with micro-batched online inference (see ``docs/http_api.md`` and
+``docs/operations.md``).  ``evaluate`` cross-validates one model variant
+and ``report`` regenerates the Table 1 summary for a configuration preset.
 """
 
 from __future__ import annotations
@@ -30,6 +33,11 @@ from repro.evaluation import evaluate_model_cv
 from repro.experiments import ExperimentConfig, reporting, run_main_results
 from repro.experiments.pipeline import make_model_factories
 from repro.serving import BundleFormatError, Predictor, save_model
+from repro.serving.scheduler import (
+    DEFAULT_MAX_BATCH_SIZE,
+    DEFAULT_MAX_QUEUE,
+    DEFAULT_MAX_WAIT_MS,
+)
 from repro.tables import table_from_csv, tables_from_jsonl, tables_to_jsonl
 
 __all__ = ["main", "build_parser"]
@@ -91,6 +99,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="epochs for the --corpus fallback (default 15)",
     )
     _add_backend_arguments(predict)
+
+    serve = subparsers.add_parser(
+        "serve", help="serve a model bundle over HTTP with micro-batching"
+    )
+    serve.add_argument(
+        "--model", required=True, help="saved model bundle directory"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument(
+        "--max-batch-size",
+        type=int,
+        default=DEFAULT_MAX_BATCH_SIZE,
+        help="largest number of tables dispatched in one model call",
+    )
+    serve.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=DEFAULT_MAX_WAIT_MS,
+        help="how long a request may wait for batch companions",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=DEFAULT_MAX_QUEUE,
+        help="admission bound on pending requests (excess gets HTTP 429)",
+    )
+    serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=4096,
+        help="capacity of the column-feature LRU cache",
+    )
+    _add_backend_arguments(serve)
 
     report = subparsers.add_parser("report", help="regenerate the Table 1 summary")
     report.add_argument("--preset", choices=["tiny", "fast", "large"], default="tiny")
@@ -210,6 +252,62 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.serving.server import ServingServer
+
+    try:
+        predictor = Predictor.from_bundle(
+            args.model,
+            cache_size=args.cache_size,
+            feature_backend=args.feature_backend,
+            workers=args.workers,
+        )
+    except BundleFormatError as error:
+        print(f"cannot load model bundle: {error}", file=sys.stderr)
+        return 2
+
+    async def _serve() -> None:
+        server = ServingServer(
+            predictor,
+            host=args.host,
+            port=args.port,
+            max_batch_size=args.max_batch_size,
+            max_wait_ms=args.max_wait_ms,
+            max_queue=args.max_queue,
+        )
+        await server.start()
+        # Handle shutdown signals inside the loop: the drain then runs to
+        # completion in the main task on every Python version, instead of
+        # racing asyncio.run's teardown (which on 3.10 cancels all tasks,
+        # dispatch loop included, dropping the queue mid-drain).
+        loop = asyncio.get_running_loop()
+        shutdown = asyncio.Event()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, shutdown.set)
+            except NotImplementedError:  # pragma: no cover - non-POSIX loops
+                pass
+        print(
+            f"serving {args.model} on http://{args.host}:{server.port} "
+            f"(max_batch_size={args.max_batch_size}, "
+            f"max_wait_ms={args.max_wait_ms}, max_queue={args.max_queue})"
+        )
+        try:
+            await shutdown.wait()
+        finally:
+            print("draining...", file=sys.stderr)
+            await server.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass  # signal handler unavailable on this platform; exit plainly
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     presets = {
         "tiny": ExperimentConfig.tiny,
@@ -230,6 +328,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "train": _cmd_train,
         "evaluate": _cmd_evaluate,
         "predict": _cmd_predict,
+        "serve": _cmd_serve,
         "report": _cmd_report,
     }
     return handlers[args.command](args)

@@ -11,6 +11,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.serving.scheduler import (
+    DEFAULT_MAX_BATCH_SIZE,
+    DEFAULT_MAX_QUEUE,
+    DEFAULT_MAX_WAIT_MS,
+)
+
 __all__ = ["ExperimentConfig"]
 
 
@@ -34,6 +40,11 @@ class ExperimentConfig:
     para_dim: int = 16
     feature_backend: str = "vectorized"
     feature_workers: int = 0
+
+    # Online serving (micro-batching policy; see docs/operations.md)
+    serve_max_batch_size: int = DEFAULT_MAX_BATCH_SIZE
+    serve_max_wait_ms: float = DEFAULT_MAX_WAIT_MS
+    serve_max_queue: int = DEFAULT_MAX_QUEUE
 
     # Topic model
     n_topics: int = 24

@@ -12,7 +12,11 @@ three pieces that make the split possible:
   (JSON manifest + one ``.npz`` of tensors) round-tripping a fitted model
   bit-exactly,
 * :class:`~repro.serving.predictor.Predictor` — the batched inference
-  facade with an LRU column-feature cache.
+  facade with an LRU column-feature cache,
+* :class:`~repro.serving.scheduler.MicroBatcher` — the online micro-batching
+  request scheduler (admission control, graceful drain, latency accounting),
+* :class:`~repro.serving.server.ServingServer` — the stdlib HTTP front end
+  (``/v1/predict``, ``/v1/predict_batch``, ``/healthz``, ``/metrics``).
 """
 
 from repro.serving.component import StatefulComponent
@@ -25,6 +29,18 @@ from repro.serving.bundle import (
     save_model,
 )
 from repro.serving.predictor import LRUCache, Predictor, column_fingerprint
+from repro.serving.scheduler import (
+    DrainingError,
+    MicroBatcher,
+    QueueFullError,
+    ServingMetrics,
+)
+from repro.serving.server import (
+    MalformedRequest,
+    ServerHandle,
+    ServingServer,
+    serve_in_thread,
+)
 
 __all__ = [
     "StatefulComponent",
@@ -37,4 +53,12 @@ __all__ = [
     "LRUCache",
     "Predictor",
     "column_fingerprint",
+    "DrainingError",
+    "MicroBatcher",
+    "QueueFullError",
+    "ServingMetrics",
+    "MalformedRequest",
+    "ServerHandle",
+    "ServingServer",
+    "serve_in_thread",
 ]

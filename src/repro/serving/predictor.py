@@ -13,12 +13,16 @@ repeatable.  :class:`Predictor` wraps a fitted
 
 Featurized columns are memoised in an LRU cache keyed on a fingerprint of
 the column's content, so repeated traffic over the same columns (the common
-case for dashboard-style workloads) skips featurization entirely.
+case for dashboard-style workloads) skips featurization entirely.  For
+topic-aware variants, inferred table-topic vectors are memoised the same
+way (keyed on the whole table's content), which removes the single most
+expensive per-table serving step — LDA inference — from repeat traffic.
 """
 
 from __future__ import annotations
 
 import hashlib
+import time
 import weakref
 from collections import OrderedDict
 from typing import Sequence
@@ -120,7 +124,12 @@ class Predictor:
     model:
         A fitted :class:`~repro.models.sato.SatoModel`.
     cache_size:
-        Capacity of the column-feature LRU cache.
+        Capacity of the column-feature LRU cache and (for topic-aware
+        variants) of the table-topic LRU cache.  LDA inference is a pure
+        function of a table's values (the Gibbs chain is reseeded per
+        call), so cached topic vectors are bit-identical to recomputed
+        ones — and topic inference is the most expensive per-table step of
+        the serving path, so repeated traffic gains the most here.
     feature_backend:
         Optional featurization backend override (``"loop"`` or
         ``"vectorized"``) applied to the model's featurizer.
@@ -163,7 +172,15 @@ class Predictor:
             backend=feature_backend, workers=workers
         )
         self.cache = LRUCache(cache_size)
+        self.topic_cache = LRUCache(cache_size)
         self._fingerprints: dict[int, tuple[weakref.ref, str]] = {}
+        # Instrumentation hooks for online serving: every batched forward
+        # pass bumps these, so a server's /metrics endpoint can report
+        # model-side totals without wrapping the hot path.
+        self._batches = 0
+        self._tables = 0
+        self._columns = 0
+        self._predict_seconds = 0.0
 
     @classmethod
     def from_bundle(
@@ -226,15 +243,36 @@ class Predictor:
             rows = [fresh[key] if row is None else row for key, row in zip(keys, rows)]
         return np.stack(rows)
 
+    def _table_fingerprint(self, table: Table) -> str:
+        """Content hash of a whole table, composed from column fingerprints.
+
+        Reuses the per-column memo, so for repeated traffic this is a few
+        dict hits and one digest over 16-byte column hashes — no value is
+        re-read.
+        """
+        digest = hashlib.blake2b(digest_size=16)
+        for column in table.columns:
+            digest.update(bytes.fromhex(self._fingerprint(column)))
+        return digest.hexdigest()
+
     def _batch_topics(self, tables: Sequence[Table]) -> np.ndarray | None:
-        """Per-column topic matrix for the batch (None for topic-free models)."""
+        """Per-column topic matrix for the batch (None for topic-free models).
+
+        Topic vectors are memoised in their own LRU cache keyed on table
+        content: LDA inference reseeds its Gibbs chain per call, so the
+        cached vector is bit-identical to a recomputation.
+        """
         if not isinstance(self.column_model, TopicAwareModel):
             return None
         rows: list[np.ndarray] = []
         for table in tables:
             if not table.columns:
                 continue
-            vector = self.column_model.intent_estimator.topic_vector(table)
+            key = self._table_fingerprint(table)
+            vector = self.topic_cache.get(key)
+            if vector is None:
+                vector = self.column_model.intent_estimator.topic_vector(table)
+                self.topic_cache.put(key, vector)
             rows.append(np.tile(vector, (table.n_columns, 1)))
         if not rows:
             return np.zeros((0, self.column_model.n_topics))
@@ -244,11 +282,16 @@ class Predictor:
         """Column-wise class scores per table, from one batched forward pass."""
         columns = [column for table in tables for column in table.columns]
         n_classes = self.column_model.n_classes
+        self._batches += 1
+        self._tables += len(tables)
+        self._columns += len(columns)
         if not columns:
             return [np.zeros((0, n_classes)) for _ in tables]
+        started = time.perf_counter()
         features = self._batch_features(columns)
         topics = self._batch_topics(tables)
         probabilities = self.column_model.predict_proba_matrix(features, topics)
+        self._predict_seconds += time.perf_counter() - started
         split: list[np.ndarray] = []
         offset = 0
         for table in tables:
@@ -292,11 +335,60 @@ class Predictor:
         self.featurizer.close()
 
     def cache_info(self) -> dict:
-        """Cache statistics of the serving hot path."""
+        """Cache statistics of the serving hot path.
+
+        Returns a dictionary with the column-feature LRU cache's current
+        ``size`` and ``capacity``, its cumulative ``hits`` and ``misses``
+        (one lookup per column served), and the number of live entries in
+        the per-object ``fingerprints`` memo.  First-contact traffic shows
+        up as misses; repeated traffic over the same columns shows up as
+        hits — the ratio is the cache hit rate a server's ``/metrics``
+        endpoint reports.
+
+        Examples:
+            >>> from repro.corpus import CorpusConfig, CorpusGenerator
+            >>> from repro.models import SatoConfig, SatoModel, TrainingConfig
+            >>> tables = CorpusGenerator(CorpusConfig(n_tables=5, seed=3)).generate()
+            >>> config = SatoConfig(use_topic=False, use_struct=False,
+            ...                     training=TrainingConfig(n_epochs=1,
+            ...                                             subnet_dim=4,
+            ...                                             hidden_dim=8))
+            >>> predictor = Predictor(SatoModel(config=config).fit(tables))
+            >>> _ = predictor.predict_table(tables[0])   # cold: misses only
+            >>> first = predictor.cache_info()
+            >>> first["misses"] == tables[0].n_columns and first["hits"] == 0
+            True
+            >>> _ = predictor.predict_table(tables[0])   # warm: hits only
+            >>> second = predictor.cache_info()
+            >>> second["hits"] == tables[0].n_columns
+            True
+            >>> second["misses"] == first["misses"]
+            True
+        """
         return {
             "size": len(self.cache),
             "capacity": self.cache.capacity,
             "hits": self.cache.hits,
             "misses": self.cache.misses,
+            "topic_size": len(self.topic_cache),
+            "topic_hits": self.topic_cache.hits,
+            "topic_misses": self.topic_cache.misses,
             "fingerprints": len(self._fingerprints),
+        }
+
+    def predict_info(self) -> dict:
+        """Cumulative model-side serving counters (instrumentation hook).
+
+        Tracks every batched forward pass served by this predictor:
+        ``batches`` (number of ``predict*`` calls), ``tables`` and
+        ``columns`` (work volume), and ``predict_seconds`` (time spent in
+        featurization + the column-network forward, excluding structured
+        decode).  The online server surfaces this under the ``predictor``
+        key of ``GET /metrics``.
+        """
+        return {
+            "batches": self._batches,
+            "tables": self._tables,
+            "columns": self._columns,
+            "predict_seconds": self._predict_seconds,
         }

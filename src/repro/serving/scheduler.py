@@ -1,0 +1,436 @@
+"""Micro-batching request scheduler for online serving.
+
+One HTTP request carries one table with a handful of columns, but the whole
+inference stack — the vectorized featurization engine, the batched column
+network forward pass — is built around *large* batches.  Serving each
+request alone wastes that machinery on per-call Python and NumPy overhead.
+:class:`MicroBatcher` closes the gap: concurrent requests are coalesced
+into batches under a ``max_batch_size`` / ``max_wait_ms`` policy and
+dispatched together through one shared :class:`~repro.serving.Predictor`
+call, so the per-call fixed costs are amortised across every request that
+happened to arrive in the same window.
+
+The scheduler also owns the two properties an online system needs that a
+library call does not:
+
+* **admission control** — the pending queue is bounded (``max_queue``);
+  requests beyond the bound fail fast with :class:`QueueFullError` (the
+  HTTP layer maps this to ``429``) instead of building an unbounded backlog,
+* **graceful drain** — :meth:`MicroBatcher.drain` stops admitting new work
+  (:class:`DrainingError` → ``503``), serves everything already queued,
+  then shuts the dispatch thread down, so a deploy never drops an accepted
+  request.
+
+Dispatch runs on a single worker thread (predictions are CPU-bound and the
+:class:`~repro.serving.Predictor` caches are not thread-safe), which keeps
+the asyncio event loop free to answer health checks and admit or reject
+traffic while a batch is being served.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.tables import Table
+
+__all__ = [
+    "DEFAULT_MAX_BATCH_SIZE",
+    "DEFAULT_MAX_QUEUE",
+    "DEFAULT_MAX_WAIT_MS",
+    "DrainingError",
+    "MicroBatcher",
+    "QueueFullError",
+    "ServingMetrics",
+]
+
+#: The default micro-batching policy, shared by the scheduler, the HTTP
+#: server, the CLI and ``ExperimentConfig.serve_*`` so one edit retunes
+#: every entry point consistently.
+DEFAULT_MAX_BATCH_SIZE = 32
+DEFAULT_MAX_WAIT_MS = 2.0
+DEFAULT_MAX_QUEUE = 256
+
+
+class QueueFullError(RuntimeError):
+    """Raised when the pending-request queue is at its admission bound."""
+
+
+class DrainingError(RuntimeError):
+    """Raised when a request arrives while the scheduler is draining."""
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of an ascending list (0.0 for an empty one)."""
+    if not sorted_values:
+        return 0.0
+    rank = min(len(sorted_values) - 1, max(0, round(fraction * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+class ServingMetrics:
+    """Counters and latency accounting for the online serving path.
+
+    Request latencies (admission to response) are kept in a bounded window
+    so percentiles reflect *recent* traffic; batch sizes are kept as a full
+    histogram so the batching policy's behaviour is visible at a glance.
+    All numbers are exposed as one JSON-friendly dictionary by
+    :meth:`snapshot` — this is exactly what ``GET /metrics`` returns.
+
+    Examples:
+        >>> metrics = ServingMetrics(window=4)
+        >>> metrics.record_admitted()
+        >>> metrics.record_batch(n_tables=1, n_columns=3, seconds=0.004)
+        >>> metrics.record_request(latency_seconds=0.005)
+        >>> metrics.record_rejected_queue_full()
+        >>> snap = metrics.snapshot()
+        >>> snap["requests"]["completed"], snap["requests"]["rejected_queue_full"]
+        (1, 1)
+        >>> snap["batches"]["size_histogram"]
+        {'1': 1}
+        >>> snap["columns"]["served"]
+        3
+    """
+
+    def __init__(self, window: int = 1024) -> None:
+        self.window = window
+        self.started_at = time.monotonic()
+        self.admitted = 0
+        self.completed = 0
+        self.errors = 0
+        self.rejected_queue_full = 0
+        self.rejected_draining = 0
+        self.malformed = 0
+        self.batches = 0
+        self.tables_served = 0
+        self.columns_served = 0
+        self.batch_seconds = 0.0
+        self.batch_size_histogram: dict[int, int] = {}
+        self._latencies: deque[float] = deque(maxlen=window)
+
+    # -------------------------------------------------------------- recording
+
+    def record_admitted(self) -> None:
+        """Count a request accepted into the pending queue."""
+        self.admitted += 1
+
+    def record_rejected_queue_full(self) -> None:
+        """Count a request turned away at the admission bound (HTTP 429)."""
+        self.rejected_queue_full += 1
+
+    def record_rejected_draining(self) -> None:
+        """Count a request turned away during graceful drain (HTTP 503)."""
+        self.rejected_draining += 1
+
+    def record_malformed(self) -> None:
+        """Count a request rejected before admission (HTTP 400)."""
+        self.malformed += 1
+
+    def record_batch(self, n_tables: int, n_columns: int, seconds: float) -> None:
+        """Account one dispatched batch (size, column volume, model time)."""
+        self.batches += 1
+        self.tables_served += n_tables
+        self.columns_served += n_columns
+        self.batch_seconds += seconds
+        self.batch_size_histogram[n_tables] = (
+            self.batch_size_histogram.get(n_tables, 0) + 1
+        )
+
+    def record_request(self, latency_seconds: float) -> None:
+        """Account one completed request's admission-to-response latency."""
+        self.completed += 1
+        self._latencies.append(latency_seconds)
+
+    def record_error(self) -> None:
+        """Count a request that failed inside the model (HTTP 500)."""
+        self.errors += 1
+
+    # ------------------------------------------------------------- reporting
+
+    def snapshot(self) -> dict:
+        """One JSON-friendly dictionary of every tracked number."""
+        uptime = max(time.monotonic() - self.started_at, 1e-9)
+        latencies = sorted(self._latencies)
+        mean_batch = self.tables_served / self.batches if self.batches else 0.0
+        return {
+            "uptime_seconds": uptime,
+            "requests": {
+                "admitted": self.admitted,
+                "completed": self.completed,
+                "errors": self.errors,
+                "rejected_queue_full": self.rejected_queue_full,
+                "rejected_draining": self.rejected_draining,
+                "malformed": self.malformed,
+                "qps": self.completed / uptime,
+            },
+            "batches": {
+                "count": self.batches,
+                "mean_size": mean_batch,
+                "size_histogram": {
+                    str(size): count
+                    for size, count in sorted(self.batch_size_histogram.items())
+                },
+                "model_seconds_total": self.batch_seconds,
+            },
+            "latency_ms": {
+                "window": len(latencies),
+                "p50": _percentile(latencies, 0.50) * 1e3,
+                "p95": _percentile(latencies, 0.95) * 1e3,
+                "p99": _percentile(latencies, 0.99) * 1e3,
+                "mean": (sum(latencies) / len(latencies) * 1e3) if latencies else 0.0,
+                "max": (latencies[-1] * 1e3) if latencies else 0.0,
+            },
+            "columns": {
+                "served": self.columns_served,
+                "tables": self.tables_served,
+                "columns_per_sec": self.columns_served / uptime,
+            },
+        }
+
+
+@dataclass
+class _Pending:
+    """One admitted request waiting in the micro-batch queue."""
+
+    table: Table
+    future: asyncio.Future
+    enqueued_at: float = field(default_factory=time.monotonic)
+
+
+class MicroBatcher:
+    """Coalesce concurrent predict requests into shared model batches.
+
+    Parameters
+    ----------
+    predictor:
+        Any object with a ``predict_tables(tables) -> list[list[str]]``
+        method — normally a :class:`~repro.serving.Predictor`.
+    max_batch_size:
+        Largest number of tables dispatched in one model call.
+    max_wait_ms:
+        How long a newly arrived request may wait for companions before the
+        partial batch is dispatched anyway.  This bounds the latency cost of
+        batching: an isolated request is served after at most this delay.
+    max_queue:
+        Admission bound on the pending queue.  ``submit`` calls beyond it
+        raise :class:`QueueFullError` immediately (fail fast beats an
+        unbounded backlog).
+    metrics:
+        Optional shared :class:`ServingMetrics`; one is created if omitted.
+
+    The batcher must be started inside a running event loop — either with
+    ``await batcher.start()`` / ``await batcher.drain()`` or as an async
+    context manager.
+
+    Examples:
+        >>> import asyncio
+        >>> from repro.tables import Column, Table
+        >>> class Echo:
+        ...     def predict_tables(self, tables):
+        ...         return [["x"] * table.n_columns for table in tables]
+        >>> async def demo():
+        ...     table = Table(columns=[Column(values=["a"]), Column(values=["b"])])
+        ...     async with MicroBatcher(Echo(), max_batch_size=8) as batcher:
+        ...         labels = await asyncio.gather(*[
+        ...             batcher.submit(table) for _ in range(3)
+        ...         ])
+        ...     return labels, batcher.metrics.completed
+        >>> labels, completed = asyncio.run(demo())
+        >>> labels == [["x", "x"]] * 3 and completed == 3
+        True
+    """
+
+    def __init__(
+        self,
+        predictor,
+        max_batch_size: int = DEFAULT_MAX_BATCH_SIZE,
+        max_wait_ms: float = DEFAULT_MAX_WAIT_MS,
+        max_queue: int = DEFAULT_MAX_QUEUE,
+        metrics: ServingMetrics | None = None,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        self.predictor = predictor
+        self.max_batch_size = max_batch_size
+        self.max_wait_ms = max_wait_ms
+        self.max_queue = max_queue
+        self.metrics = metrics if metrics is not None else ServingMetrics()
+        self._queue: deque[_Pending] = deque()
+        self._wake = asyncio.Event()
+        self._draining = False
+        self._task: asyncio.Task | None = None
+        self._executor: ThreadPoolExecutor | None = None
+
+    # ------------------------------------------------------------- lifecycle
+
+    @property
+    def draining(self) -> bool:
+        """True once :meth:`drain` has been called."""
+        return self._draining
+
+    @property
+    def pending(self) -> int:
+        """Number of admitted requests not yet dispatched."""
+        return len(self._queue)
+
+    async def start(self) -> "MicroBatcher":
+        """Start the dispatch loop (idempotent)."""
+        if self._task is None:
+            self._draining = False
+            self._executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="microbatch-dispatch"
+            )
+            self._task = asyncio.get_running_loop().create_task(self._run())
+        return self
+
+    async def drain(self) -> None:
+        """Stop admitting work, serve the queue, then stop the loop.
+
+        Every request admitted before the drain began still receives its
+        response; requests submitted after it raise :class:`DrainingError`.
+        """
+        self._draining = True
+        self._wake.set()
+        if self._task is not None:
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                # The dispatch loop was cancelled from outside (e.g. event
+                # loop teardown); don't let queued futures hang forever.
+                pass
+            self._task = None
+        while self._queue:  # only non-empty if the loop died mid-drain
+            pending = self._queue.popleft()
+            if not pending.future.done():
+                pending.future.set_exception(
+                    DrainingError("scheduler stopped before dispatch")
+                )
+            self.metrics.record_rejected_draining()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    async def __aenter__(self) -> "MicroBatcher":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.drain()
+
+    # ------------------------------------------------------------- admission
+
+    def _admit(self, n_tables: int) -> None:
+        """Check admission for ``n_tables`` more tables (raises on refusal).
+
+        Synchronous on purpose: callers enqueue immediately after this
+        check without any intervening ``await``, so check-plus-enqueue is
+        atomic with respect to the event loop and a multi-table admission
+        really is all-or-nothing.
+        """
+        if self._draining:
+            self.metrics.record_rejected_draining()
+            raise DrainingError("scheduler is draining")
+        if len(self._queue) + n_tables > self.max_queue:
+            self.metrics.record_rejected_queue_full()
+            raise QueueFullError(
+                f"pending queue cannot admit {n_tables} more table(s) "
+                f"(bound {self.max_queue})"
+            )
+        if self._task is None:
+            raise RuntimeError("MicroBatcher is not started")
+
+    def _enqueue(self, table: Table) -> asyncio.Future:
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._queue.append(_Pending(table=table, future=future))
+        self.metrics.record_admitted()
+        self._wake.set()
+        return future
+
+    async def submit(self, table: Table) -> list[str]:
+        """Submit one table; resolves to its per-column labels.
+
+        Raises :class:`DrainingError` during shutdown and
+        :class:`QueueFullError` when the pending queue is at its bound.
+        """
+        self._admit(1)
+        return await self._enqueue(table)
+
+    async def submit_many(self, tables: Sequence[Table]) -> list[list[str]]:
+        """Submit several tables as one admission decision.
+
+        Admission is all-or-nothing and atomic: either every table is
+        enqueued (before this coroutine first yields to the event loop) or
+        the call raises and none of them are.
+        """
+        tables = list(tables)
+        self._admit(len(tables))
+        futures = [self._enqueue(table) for table in tables]
+        results = await asyncio.gather(*futures, return_exceptions=True)
+        for result in results:
+            if isinstance(result, BaseException):
+                raise result
+        return list(results)
+
+    # -------------------------------------------------------------- dispatch
+
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            if not self._queue:
+                if self._draining:
+                    return
+                self._wake.clear()
+                await self._wake.wait()
+                continue
+            # One request in hand: linger for companions until the *oldest*
+            # request has waited max_wait_ms since admission (skipped when
+            # the batch is already full or we are draining).  Anchoring on
+            # enqueue time means work that queued during an in-flight
+            # dispatch is not taxed a second wait window.
+            deadline = self._queue[0].enqueued_at + self.max_wait_ms / 1e3
+            while not self._draining and len(self._queue) < self.max_batch_size:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._wake.clear()
+                try:
+                    await asyncio.wait_for(self._wake.wait(), timeout=remaining)
+                except asyncio.TimeoutError:
+                    break
+            batch = [
+                self._queue.popleft()
+                for _ in range(min(self.max_batch_size, len(self._queue)))
+            ]
+            await self._dispatch(loop, batch)
+
+    async def _dispatch(self, loop: asyncio.AbstractEventLoop, batch: list[_Pending]) -> None:
+        tables = [pending.table for pending in batch]
+        started = time.monotonic()
+        try:
+            results = await loop.run_in_executor(
+                self._executor, self.predictor.predict_tables, tables
+            )
+        except Exception as error:  # surfaced per request as HTTP 500
+            for pending in batch:
+                if not pending.future.done():
+                    pending.future.set_exception(error)
+                self.metrics.record_error()
+            return
+        seconds = time.monotonic() - started
+        self.metrics.record_batch(
+            n_tables=len(tables),
+            n_columns=sum(table.n_columns for table in tables),
+            seconds=seconds,
+        )
+        finished = time.monotonic()
+        for pending, labels in zip(batch, results):
+            if not pending.future.done():
+                pending.future.set_result(labels)
+            self.metrics.record_request(finished - pending.enqueued_at)

@@ -1,0 +1,498 @@
+"""Asyncio HTTP front end for online serving (stdlib only).
+
+:class:`ServingServer` exposes a :class:`~repro.serving.Predictor` over a
+minimal HTTP/1.1 endpoint backed by the
+:class:`~repro.serving.scheduler.MicroBatcher`:
+
+* ``POST /v1/predict`` — one table in, per-column labels out,
+* ``POST /v1/predict_batch`` — many tables in one request (each table is
+  admitted to the micro-batch queue individually, so they coalesce with
+  concurrent traffic),
+* ``GET /healthz`` — liveness + drain state,
+* ``GET /metrics`` — the :class:`~repro.serving.scheduler.ServingMetrics`
+  snapshot plus the predictor's cache and batch counters.
+
+Request/response schemas, curl examples and the error-code contract are
+documented in ``docs/http_api.md``; tuning guidance lives in
+``docs/operations.md``.  The server is deliberately hand-rolled on
+``asyncio.start_server`` — one connection per request, ``Connection:
+close`` — because the repo's no-new-dependencies rule rules out real web
+frameworks, and the serving hot path is the model, not the socket.
+
+Shutdown is two-phase so a load balancer can react: :meth:`begin_drain`
+flips ``/healthz`` to ``draining`` and makes predict endpoints return
+``503`` while in-flight work completes; :meth:`stop` then drains the
+scheduler queue and closes the listener.  For tests, scripts and notebooks,
+:func:`serve_in_thread` runs the whole server on a background event loop
+and returns a handle with synchronous lifecycle methods.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import Sequence
+
+from repro.serving.scheduler import (
+    DEFAULT_MAX_BATCH_SIZE,
+    DEFAULT_MAX_QUEUE,
+    DEFAULT_MAX_WAIT_MS,
+    DrainingError,
+    MicroBatcher,
+    QueueFullError,
+    ServingMetrics,
+)
+from repro.tables import Table
+
+__all__ = ["MalformedRequest", "ServerHandle", "ServingServer", "serve_in_thread"]
+
+#: Largest accepted request body; bigger payloads are refused with 413.
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+#: Hard ceiling on reading one request (connect to end of body).  Idle or
+#: drip-feeding connections are cut off with 400 instead of pinning a
+#: connection-handler task forever.
+READ_TIMEOUT_SECONDS = 30.0
+
+#: Hard ceiling on header lines per request (no legitimate client is close).
+MAX_HEADER_LINES = 128
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class MalformedRequest(ValueError):
+    """A request body that cannot be turned into tables (HTTP 400)."""
+
+
+def _parse_table(payload, where: str) -> Table:
+    """Validate one JSON table object and build a :class:`Table` from it.
+
+    Examples:
+        >>> table = _parse_table({"columns": [{"values": ["a", "b"]}]}, "table")
+        >>> table.n_columns
+        1
+        >>> try:
+        ...     _parse_table({"columns": "nope"}, "table")
+        ... except MalformedRequest as error:
+        ...     print(error)
+        table.columns must be a list
+    """
+    if not isinstance(payload, dict):
+        raise MalformedRequest(f"{where} must be an object")
+    columns = payload.get("columns")
+    if not isinstance(columns, list):
+        raise MalformedRequest(f"{where}.columns must be a list")
+    for index, column in enumerate(columns):
+        if not isinstance(column, dict):
+            raise MalformedRequest(f"{where}.columns[{index}] must be an object")
+        values = column.get("values")
+        if not isinstance(values, list):
+            raise MalformedRequest(
+                f"{where}.columns[{index}].values must be a list of strings"
+            )
+        if not all(value is None or isinstance(value, (str, int, float)) for value in values):
+            raise MalformedRequest(
+                f"{where}.columns[{index}].values must hold strings or numbers"
+            )
+    try:
+        return Table.from_dict(payload)
+    except (TypeError, ValueError, AttributeError) as error:
+        raise MalformedRequest(f"{where} is not a valid table: {error}") from error
+
+
+def _predict_payload(body: bytes) -> Table:
+    payload = _decode_json(body)
+    if "table" not in payload:
+        raise MalformedRequest('body must be {"table": {...}}')
+    return _parse_table(payload["table"], "table")
+
+
+def _predict_batch_payload(body: bytes) -> list[Table]:
+    payload = _decode_json(body)
+    tables = payload.get("tables")
+    if not isinstance(tables, list) or not tables:
+        raise MalformedRequest('body must be {"tables": [{...}, ...]} with >= 1 table')
+    return [
+        _parse_table(table, f"tables[{index}]") for index, table in enumerate(tables)
+    ]
+
+
+def _decode_json(body: bytes) -> dict:
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise MalformedRequest(f"body is not valid JSON: {error}") from error
+    if not isinstance(payload, dict):
+        raise MalformedRequest("body must be a JSON object")
+    return payload
+
+
+def _table_result(table: Table, labels: Sequence[str]) -> dict:
+    return {
+        "table_id": table.table_id,
+        "labels": list(labels),
+        "n_columns": table.n_columns,
+    }
+
+
+class ServingServer:
+    """Online serving endpoint: micro-batched predictions over HTTP.
+
+    Parameters
+    ----------
+    predictor:
+        A :class:`~repro.serving.Predictor` (or any object with
+        ``predict_tables`` and, optionally, ``cache_info``/``predict_info``
+        for ``/metrics``).
+    host / port:
+        Bind address.  ``port=0`` picks a free port (see :attr:`port`).
+    max_batch_size / max_wait_ms / max_queue:
+        Micro-batching policy, passed to
+        :class:`~repro.serving.scheduler.MicroBatcher`.
+    """
+
+    def __init__(
+        self,
+        predictor,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        max_batch_size: int = DEFAULT_MAX_BATCH_SIZE,
+        max_wait_ms: float = DEFAULT_MAX_WAIT_MS,
+        max_queue: int = DEFAULT_MAX_QUEUE,
+    ) -> None:
+        self.predictor = predictor
+        self.host = host
+        self._requested_port = port
+        self.metrics = ServingMetrics()
+        self.batcher = MicroBatcher(
+            predictor,
+            max_batch_size=max_batch_size,
+            max_wait_ms=max_wait_ms,
+            max_queue=max_queue,
+            metrics=self.metrics,
+        )
+        self._server: asyncio.base_events.Server | None = None
+        self._draining = False
+
+    # ------------------------------------------------------------- lifecycle
+
+    @property
+    def port(self) -> int:
+        """The actually bound port (resolves ``port=0`` after :meth:`start`)."""
+        if self._server is None:
+            return self._requested_port
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def draining(self) -> bool:
+        """True once :meth:`begin_drain` (or :meth:`stop`) has been called."""
+        return self._draining
+
+    async def start(self) -> "ServingServer":
+        """Bind the listener and start the micro-batch dispatch loop."""
+        await self.batcher.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.host, port=self._requested_port
+        )
+        return self
+
+    async def serve_forever(self) -> None:
+        """Serve until cancelled (the CLI wraps this with signal handling)."""
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    async def begin_drain(self) -> None:
+        """Phase one of shutdown: refuse new predict work, stay observable.
+
+        ``/healthz`` keeps answering (reporting ``draining``) so a load
+        balancer can take the instance out of rotation; predict endpoints
+        return ``503`` immediately.
+        """
+        self._draining = True
+
+    async def stop(self) -> None:
+        """Drain the queue, close the listener, release predictor resources."""
+        await self.begin_drain()
+        await self.batcher.drain()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        close = getattr(self.predictor, "close", None)
+        if close is not None:
+            close()
+
+    # ----------------------------------------------------------------- wire
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            status, payload = await self._handle_request(reader)
+        except Exception:  # defensive: a handler bug must not kill the server
+            status, payload = 500, {"error": "internal server error"}
+        body = (json.dumps(payload) + "\n").encode("utf-8")
+        headers = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        ).encode("ascii")
+        try:
+            writer.write(headers + body)
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):
+            pass  # client went away; nothing to tell it
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+
+    async def _handle_request(self, reader: asyncio.StreamReader) -> tuple[int, dict]:
+        # Reading the request is bounded in time, header count and body
+        # size; every framing problem is answered with an explicit 4xx
+        # (500 is reserved for the model failing).  Routing — which
+        # includes queueing for the model — is deliberately outside the
+        # read timeout.
+        try:
+            parsed = await asyncio.wait_for(
+                self._read_request(reader), timeout=READ_TIMEOUT_SECONDS
+            )
+        except asyncio.TimeoutError:
+            return 400, {"error": "request read timed out"}
+        except asyncio.IncompleteReadError:
+            return 400, {"error": "body shorter than Content-Length"}
+        except (ConnectionError, asyncio.LimitOverrunError, ValueError):
+            # ValueError covers StreamReader's line-length limit overruns.
+            return 400, {"error": "unreadable request"}
+        if isinstance(parsed, tuple) and len(parsed) == 2:
+            return parsed  # an error (status, payload) from the read phase
+        method, path, body = parsed
+        return await self._route(method, path, body)
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        """Read one request; returns (method, path, body) or (status, error)."""
+        request_line = await reader.readline()
+        parts = request_line.decode("latin-1").split()
+        if len(parts) < 2:
+            return 400, {"error": "malformed request line"}
+        method, path = parts[0].upper(), parts[1].split("?", 1)[0]
+
+        content_length = 0
+        for _ in range(MAX_HEADER_LINES):
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    return 400, {"error": "invalid Content-Length"}
+                if content_length < 0:
+                    return 400, {"error": "invalid Content-Length"}
+        else:
+            return 400, {"error": f"more than {MAX_HEADER_LINES} header lines"}
+        if content_length > MAX_BODY_BYTES:
+            return 413, {"error": f"body exceeds {MAX_BODY_BYTES} bytes"}
+        body = await reader.readexactly(content_length) if content_length else b""
+        return method, path, body
+
+    # -------------------------------------------------------------- routing
+
+    async def _route(self, method: str, path: str, body: bytes) -> tuple[int, dict]:
+        if path == "/healthz":
+            if method != "GET":
+                return 405, {"error": "use GET"}
+            return 200, self._health()
+        if path == "/metrics":
+            if method != "GET":
+                return 405, {"error": "use GET"}
+            return 200, self._metrics()
+        if path == "/v1/predict":
+            if method != "POST":
+                return 405, {"error": "use POST"}
+            return await self._predict(body)
+        if path == "/v1/predict_batch":
+            if method != "POST":
+                return 405, {"error": "use POST"}
+            return await self._predict_batch(body)
+        return 404, {"error": f"unknown path {path}"}
+
+    def _health(self) -> dict:
+        snapshot = self.metrics.snapshot()
+        return {
+            "status": "draining" if self._draining else "ok",
+            "draining": self._draining,
+            "pending": self.batcher.pending,
+            "uptime_seconds": snapshot["uptime_seconds"],
+        }
+
+    def _metrics(self) -> dict:
+        snapshot = self.metrics.snapshot()
+        cache_info = getattr(self.predictor, "cache_info", None)
+        if cache_info is not None:
+            cache = cache_info()
+            lookups = cache.get("hits", 0) + cache.get("misses", 0)
+            cache["hit_rate"] = cache.get("hits", 0) / lookups if lookups else 0.0
+            snapshot["cache"] = cache
+        predict_info = getattr(self.predictor, "predict_info", None)
+        if predict_info is not None:
+            snapshot["predictor"] = predict_info()
+        snapshot["policy"] = {
+            "max_batch_size": self.batcher.max_batch_size,
+            "max_wait_ms": self.batcher.max_wait_ms,
+            "max_queue": self.batcher.max_queue,
+        }
+        return snapshot
+
+    async def _predict(self, body: bytes) -> tuple[int, dict]:
+        if self._draining:
+            self.metrics.record_rejected_draining()
+            return 503, {"error": "server is draining"}
+        try:
+            table = _predict_payload(body)
+        except MalformedRequest as error:
+            self.metrics.record_malformed()
+            return 400, {"error": str(error)}
+        try:
+            labels = await self.batcher.submit(table)
+        except QueueFullError as error:
+            return 429, {"error": str(error)}
+        except DrainingError as error:
+            return 503, {"error": str(error)}
+        except Exception as error:
+            return 500, {"error": f"prediction failed: {error}"}
+        return 200, _table_result(table, labels)
+
+    async def _predict_batch(self, body: bytes) -> tuple[int, dict]:
+        if self._draining:
+            self.metrics.record_rejected_draining()
+            return 503, {"error": "server is draining"}
+        try:
+            tables = _predict_batch_payload(body)
+        except MalformedRequest as error:
+            self.metrics.record_malformed()
+            return 400, {"error": str(error)}
+        try:
+            results = await self.batcher.submit_many(tables)
+        except QueueFullError as error:
+            return 429, {"error": str(error)}
+        except DrainingError as error:
+            return 503, {"error": str(error)}
+        except Exception as error:
+            return 500, {"error": f"prediction failed: {error}"}
+        return 200, {
+            "results": [
+                _table_result(table, labels)
+                for table, labels in zip(tables, results)
+            ]
+        }
+
+
+class ServerHandle:
+    """Synchronous handle to a :class:`ServingServer` on a background loop.
+
+    Returned by :func:`serve_in_thread`; usable as a context manager so
+    tests and scripts always shut the server down.
+    """
+
+    def __init__(self, server: ServingServer, loop: asyncio.AbstractEventLoop, thread: threading.Thread) -> None:
+        self.server = server
+        self._loop = loop
+        self._thread = thread
+
+    @property
+    def port(self) -> int:
+        """The bound port."""
+        return self.server.port
+
+    @property
+    def base_url(self) -> str:
+        """``http://host:port`` of the running server."""
+        return f"http://{self.server.host}:{self.server.port}"
+
+    def _call(self, coroutine) -> None:
+        asyncio.run_coroutine_threadsafe(coroutine, self._loop).result(timeout=60)
+
+    def begin_drain(self) -> None:
+        """Flip the server into draining mode (predicts 503, healthz alive)."""
+        self._call(self.server.begin_drain())
+
+    def stop(self) -> None:
+        """Drain, close the listener, and stop the background loop."""
+        if self._loop.is_closed():
+            return
+        self._call(self.server.stop())
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=60)
+        self._loop.close()
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def serve_in_thread(
+    predictor,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    max_batch_size: int = DEFAULT_MAX_BATCH_SIZE,
+    max_wait_ms: float = DEFAULT_MAX_WAIT_MS,
+    max_queue: int = DEFAULT_MAX_QUEUE,
+) -> ServerHandle:
+    """Start a :class:`ServingServer` on a background thread's event loop.
+
+    The returned :class:`ServerHandle` exposes the bound port and
+    synchronous ``begin_drain``/``stop`` methods, so plain-blocking code
+    (tests, notebooks, load generators) can stand up a real socket server
+    without touching asyncio.
+
+    Examples:
+        >>> class Echo:
+        ...     def predict_tables(self, tables):
+        ...         return [["t"] * table.n_columns for table in tables]
+        >>> import json, urllib.request
+        >>> with serve_in_thread(Echo(), port=0) as handle:
+        ...     with urllib.request.urlopen(handle.base_url + "/healthz") as reply:
+        ...         health = json.load(reply)
+        >>> health["status"]
+        'ok'
+    """
+    loop = asyncio.new_event_loop()
+    thread = threading.Thread(
+        target=loop.run_forever, name="repro-serving", daemon=True
+    )
+    thread.start()
+    server = ServingServer(
+        predictor,
+        host=host,
+        port=port,
+        max_batch_size=max_batch_size,
+        max_wait_ms=max_wait_ms,
+        max_queue=max_queue,
+    )
+    try:
+        asyncio.run_coroutine_threadsafe(server.start(), loop).result(timeout=60)
+    except Exception:
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=60)
+        loop.close()
+        raise
+    return ServerHandle(server, loop, thread)

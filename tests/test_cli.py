@@ -20,6 +20,25 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["evaluate", "--corpus", "c.jsonl", "--variant", "Nope"])
 
+    def test_serve_args_and_defaults(self):
+        args = build_parser().parse_args(
+            ["serve", "--model", "bundle/", "--port", "9000",
+             "--max-batch-size", "16", "--max-wait-ms", "5"]
+        )
+        assert args.command == "serve"
+        assert args.model == "bundle/"
+        assert args.port == 9000
+        assert args.max_batch_size == 16
+        assert args.max_wait_ms == 5.0
+        assert args.max_queue == 256
+        assert args.cache_size == 4096
+        assert args.feature_backend == "vectorized"
+        assert args.workers == 0
+
+    def test_serve_requires_model(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
 
 class TestCommands:
     def test_generate_writes_corpus(self, tmp_path, capsys):

@@ -17,6 +17,8 @@ import repro.serving
 import repro.serving.bundle
 import repro.serving.component
 import repro.serving.predictor
+import repro.serving.scheduler
+import repro.serving.server
 
 DOCUMENTED_MODULES = [
     repro.features.engine,
@@ -24,12 +26,16 @@ DOCUMENTED_MODULES = [
     repro.serving.bundle,
     repro.serving.component,
     repro.serving.predictor,
+    repro.serving.scheduler,
+    repro.serving.server,
 ]
 
 PUBLIC_EXAMPLE_PACKAGES = {
     repro.serving.bundle: ["save_model", "load_model", "BundleFormatError"],
     repro.serving.component: ["StatefulComponent"],
     repro.serving.predictor: ["column_fingerprint", "LRUCache", "Predictor"],
+    repro.serving.scheduler: ["MicroBatcher", "ServingMetrics"],
+    repro.serving.server: ["serve_in_thread"],
     repro.features.engine: [
         "VectorizedEngine",
         "char_features_batch",

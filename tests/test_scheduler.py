@@ -1,0 +1,277 @@
+"""Unit tests for the micro-batching request scheduler.
+
+These run against stub predictors (recording batch shapes, injecting
+latency or failures) so the batching policy, admission control, drain
+semantics and metrics accounting are tested in isolation from the model.
+End-to-end behaviour over a real socket lives in ``test_server.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro.serving import (
+    DrainingError,
+    MicroBatcher,
+    QueueFullError,
+    ServingMetrics,
+)
+from repro.serving.scheduler import _percentile
+from repro.tables import Column, Table
+
+
+def make_table(n_columns: int = 2, tag: str = "t") -> Table:
+    return Table(
+        columns=[
+            Column(values=[f"{tag}{i}a", f"{tag}{i}b"]) for i in range(n_columns)
+        ],
+        table_id=tag,
+    )
+
+
+class RecordingPredictor:
+    """Counts calls and batch sizes; optionally sleeps to simulate model time."""
+
+    def __init__(self, delay: float = 0.0):
+        self.delay = delay
+        self.batch_sizes: list[int] = []
+
+    def predict_tables(self, tables):
+        self.batch_sizes.append(len(tables))
+        if self.delay:
+            time.sleep(self.delay)
+        return [["label"] * table.n_columns for table in tables]
+
+
+class FailingPredictor:
+    def predict_tables(self, tables):
+        raise RuntimeError("model exploded")
+
+
+class TestMicroBatcher:
+    def test_concurrent_requests_coalesce_into_one_batch(self):
+        predictor = RecordingPredictor(delay=0.01)
+
+        async def run():
+            async with MicroBatcher(
+                predictor, max_batch_size=16, max_wait_ms=50.0
+            ) as batcher:
+                results = await asyncio.gather(
+                    *[batcher.submit(make_table(tag=f"t{i}")) for i in range(8)]
+                )
+            return results
+
+        results = asyncio.run(run())
+        assert results == [["label", "label"]] * 8
+        # All 8 landed within the wait window -> far fewer dispatches than 8.
+        assert len(predictor.batch_sizes) <= 2
+        assert max(predictor.batch_sizes) >= 4
+
+    def test_max_batch_size_bounds_every_dispatch(self):
+        predictor = RecordingPredictor()
+
+        async def run():
+            async with MicroBatcher(
+                predictor, max_batch_size=3, max_wait_ms=20.0
+            ) as batcher:
+                await asyncio.gather(
+                    *[batcher.submit(make_table(tag=f"t{i}")) for i in range(10)]
+                )
+
+        asyncio.run(run())
+        assert sum(predictor.batch_sizes) == 10
+        assert max(predictor.batch_sizes) <= 3
+
+    def test_batch_size_one_serves_requests_individually(self):
+        predictor = RecordingPredictor()
+
+        async def run():
+            async with MicroBatcher(
+                predictor, max_batch_size=1, max_wait_ms=50.0
+            ) as batcher:
+                await asyncio.gather(
+                    *[batcher.submit(make_table(tag=f"t{i}")) for i in range(5)]
+                )
+
+        asyncio.run(run())
+        assert predictor.batch_sizes == [1] * 5
+
+    def test_lone_request_is_served_after_max_wait(self):
+        predictor = RecordingPredictor()
+
+        async def run():
+            async with MicroBatcher(
+                predictor, max_batch_size=64, max_wait_ms=5.0
+            ) as batcher:
+                started = time.monotonic()
+                labels = await batcher.submit(make_table())
+                return labels, time.monotonic() - started
+
+        labels, elapsed = asyncio.run(run())
+        assert labels == ["label", "label"]
+        assert elapsed < 2.0  # waited ~max_wait_ms, not forever
+
+    def test_queue_bound_rejects_with_queue_full(self):
+        predictor = RecordingPredictor(delay=0.05)
+
+        async def run():
+            async with MicroBatcher(
+                predictor, max_batch_size=1, max_wait_ms=0.0, max_queue=2
+            ) as batcher:
+                tasks = [
+                    asyncio.create_task(batcher.submit(make_table(tag=f"t{i}")))
+                    for i in range(12)
+                ]
+                return await asyncio.gather(*tasks, return_exceptions=True)
+
+        outcomes = asyncio.run(run())
+        rejected = [o for o in outcomes if isinstance(o, QueueFullError)]
+        served = [o for o in outcomes if isinstance(o, list)]
+        assert rejected, "flooding a queue of 2 must reject something"
+        assert served, "admitted requests must still be served"
+        assert len(rejected) + len(served) == 12  # nothing silently dropped
+
+    def test_draining_rejects_new_work_but_serves_queued(self):
+        predictor = RecordingPredictor(delay=0.02)
+
+        async def run():
+            batcher = MicroBatcher(predictor, max_batch_size=4, max_wait_ms=1.0)
+            await batcher.start()
+            accepted = asyncio.create_task(batcher.submit(make_table(tag="pre")))
+            await asyncio.sleep(0)  # let the submit enqueue
+            await batcher.drain()
+            assert await accepted == ["label", "label"]
+            with pytest.raises(DrainingError):
+                await batcher.submit(make_table(tag="post"))
+            return batcher.metrics
+
+        metrics = asyncio.run(run())
+        assert metrics.completed == 1
+        assert metrics.rejected_draining == 1
+
+    def test_model_failure_propagates_per_request(self):
+        async def run():
+            async with MicroBatcher(
+                FailingPredictor(), max_batch_size=4, max_wait_ms=1.0
+            ) as batcher:
+                with pytest.raises(RuntimeError, match="model exploded"):
+                    await batcher.submit(make_table())
+                return batcher.metrics
+
+        metrics = asyncio.run(run())
+        assert metrics.errors == 1
+        assert metrics.completed == 0
+
+    def test_submit_many_round_trips_order(self):
+        predictor = RecordingPredictor()
+        tables = [make_table(n_columns=i + 1, tag=f"t{i}") for i in range(4)]
+
+        async def run():
+            async with MicroBatcher(
+                predictor, max_batch_size=8, max_wait_ms=10.0
+            ) as batcher:
+                return await batcher.submit_many(tables)
+
+        results = asyncio.run(run())
+        assert [len(labels) for labels in results] == [1, 2, 3, 4]
+
+    def test_submit_many_rejected_wholesale_when_over_bound(self):
+        predictor = RecordingPredictor()
+        tables = [make_table(tag=f"t{i}") for i in range(5)]
+
+        async def run():
+            async with MicroBatcher(
+                predictor, max_batch_size=8, max_wait_ms=1.0, max_queue=3
+            ) as batcher:
+                with pytest.raises(QueueFullError):
+                    await batcher.submit_many(tables)
+
+        asyncio.run(run())
+        assert predictor.batch_sizes == []  # nothing was admitted
+
+    def test_submit_many_admission_is_atomic_under_concurrent_traffic(self):
+        """A rejected batch enqueues nothing, even while singles race it."""
+        predictor = RecordingPredictor(delay=0.02)
+        batch = [make_table(tag=f"b{i}") for i in range(3)]
+
+        async def run():
+            async with MicroBatcher(
+                predictor, max_batch_size=1, max_wait_ms=0.0, max_queue=4
+            ) as batcher:
+                singles = [
+                    asyncio.create_task(batcher.submit(make_table(tag=f"s{i}")))
+                    for i in range(3)
+                ]
+                await asyncio.sleep(0)  # let the singles enqueue first
+                outcome: list = []
+                try:
+                    outcome.append(await batcher.submit_many(batch))
+                except QueueFullError as error:
+                    outcome.append(error)
+                await asyncio.gather(*singles, return_exceptions=True)
+                return outcome[0], batcher.metrics
+
+        outcome, metrics = asyncio.run(run())
+        # 3 singles fill the queue to 3 of 4; the 3-table batch cannot fit,
+        # so it must be rejected with not a single table of it enqueued.
+        assert isinstance(outcome, QueueFullError)
+        assert metrics.admitted == 3  # only the singles
+        assert metrics.completed == 3
+        assert sum(predictor.batch_sizes) == 3  # no batch table reached the model
+
+    def test_policy_validation(self):
+        predictor = RecordingPredictor()
+        with pytest.raises(ValueError):
+            MicroBatcher(predictor, max_batch_size=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(predictor, max_wait_ms=-1.0)
+        with pytest.raises(ValueError):
+            MicroBatcher(predictor, max_queue=0)
+
+
+class TestServingMetrics:
+    def test_snapshot_shape_and_counters(self):
+        metrics = ServingMetrics(window=8)
+        for latency in (0.001, 0.002, 0.003):
+            metrics.record_admitted()
+            metrics.record_request(latency)
+        metrics.record_batch(n_tables=3, n_columns=7, seconds=0.004)
+        metrics.record_rejected_queue_full()
+        metrics.record_rejected_draining()
+        metrics.record_malformed()
+        metrics.record_error()
+        snap = metrics.snapshot()
+        assert snap["requests"]["admitted"] == 3
+        assert snap["requests"]["completed"] == 3
+        assert snap["requests"]["rejected_queue_full"] == 1
+        assert snap["requests"]["rejected_draining"] == 1
+        assert snap["requests"]["malformed"] == 1
+        assert snap["requests"]["errors"] == 1
+        assert snap["requests"]["qps"] > 0
+        assert snap["batches"] == {
+            "count": 1,
+            "mean_size": 3.0,
+            "size_histogram": {"3": 1},
+            "model_seconds_total": 0.004,
+        }
+        assert snap["columns"]["served"] == 7
+        assert snap["latency_ms"]["p50"] == pytest.approx(2.0)
+        assert snap["latency_ms"]["max"] == pytest.approx(3.0)
+
+    def test_latency_window_is_bounded(self):
+        metrics = ServingMetrics(window=4)
+        for i in range(100):
+            metrics.record_request(float(i))
+        snap = metrics.snapshot()
+        assert snap["latency_ms"]["window"] == 4
+        assert metrics.completed == 100  # the counter is not windowed
+
+    def test_percentile_nearest_rank(self):
+        assert _percentile([], 0.5) == 0.0
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert _percentile(values, 0.0) == 1.0
+        assert _percentile(values, 1.0) == 4.0
+        assert _percentile(values, 0.5) in (2.0, 3.0)

@@ -157,6 +157,60 @@ class TestPredictor:
         assert second["misses"] == first["misses"]
         assert second["hits"] >= first["hits"] + first["misses"]
 
+    def test_cache_info_counters_advance_across_predict_table_calls(
+        self, trained_base, serving_split
+    ):
+        _, test = serving_split
+        table = test[0]
+        predictor = Predictor(trained_base, cache_size=1024)
+        start = predictor.cache_info()
+        assert start["hits"] == 0 and start["misses"] == 0 and start["size"] == 0
+
+        predictor.predict_table(table)
+        cold = predictor.cache_info()
+        assert cold["misses"] == table.n_columns  # one lookup per column, all cold
+        assert cold["hits"] == 0
+        assert cold["size"] > 0
+        assert cold["capacity"] == 1024
+
+        predictor.predict_table(table)
+        warm = predictor.cache_info()
+        assert warm["misses"] == cold["misses"]  # nothing refeaturized
+        assert warm["hits"] == cold["hits"] + table.n_columns
+
+    def test_topic_cache_hits_on_repeat_traffic_and_stays_exact(
+        self, trained_sato, serving_split
+    ):
+        _, test = serving_split
+        predictor = Predictor(trained_sato, cache_size=1024)
+        cold = predictor.predict_tables(test)
+        first = predictor.cache_info()
+        served = sum(1 for t in test if t.n_columns)
+        # One topic lookup per non-empty table; all distinct content is a miss.
+        assert first["topic_hits"] + first["topic_misses"] == served
+        assert first["topic_misses"] >= 1
+        warm = predictor.predict_tables(test)
+        second = predictor.cache_info()
+        assert second["topic_hits"] == first["topic_hits"] + served
+        assert second["topic_misses"] == first["topic_misses"]
+        # Cached topic vectors must be bit-identical to recomputation.
+        assert warm == cold
+        assert warm == [trained_sato.predict_table(t) for t in test]
+
+    def test_predict_info_tracks_batches_and_columns(self, trained_base, serving_split):
+        _, test = serving_split
+        predictor = Predictor(trained_base)
+        assert predictor.predict_info() == {
+            "batches": 0, "tables": 0, "columns": 0, "predict_seconds": 0.0,
+        }
+        predictor.predict_tables(test)
+        predictor.predict_table(test[0])
+        info = predictor.predict_info()
+        assert info["batches"] == 2
+        assert info["tables"] == len(test) + 1
+        assert info["columns"] == sum(t.n_columns for t in test) + test[0].n_columns
+        assert info["predict_seconds"] > 0
+
     def test_cached_results_stay_correct(self, trained_base, serving_split):
         _, test = serving_split
         predictor = Predictor(trained_base, cache_size=1024)
