@@ -17,7 +17,7 @@ from repro import CorpusConfig, CorpusGenerator, SatoConfig, SatoModel, Training
 from repro.corpus.config import NoiseConfig
 from repro.corpus.splits import train_test_split
 from repro.features import ColumnFeaturizer
-from repro.tables import Column, Table
+from repro.tables import Table
 
 #: Type-specific cell validators: return True when the cell looks valid.
 VALIDATORS: dict[str, Callable[[str], bool]] = {

@@ -7,7 +7,8 @@ Subcommands::
     repro-sato predict   --model model/ --csv mytable.csv \
                          --feature-backend vectorized --workers 4
     repro-sato serve     --model model/ --port 8080 \
-                         --max-batch-size 32 --max-wait-ms 2
+                         --max-batch-size 32 --max-wait-ms 2 \
+                         --model-backend batched
     repro-sato evaluate  --corpus corpus.jsonl --variant Sato --k 3
     repro-sato report    --preset tiny
 
@@ -99,6 +100,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="epochs for the --corpus fallback (default 15)",
     )
     _add_backend_arguments(predict)
+    _add_model_backend_argument(predict)
 
     serve = subparsers.add_parser(
         "serve", help="serve a model bundle over HTTP with micro-batching"
@@ -133,6 +135,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="capacity of the column-feature LRU cache",
     )
     _add_backend_arguments(serve)
+    _add_model_backend_argument(serve)
 
     report = subparsers.add_parser("report", help="regenerate the Table 1 summary")
     report.add_argument("--preset", choices=["tiny", "fast", "large"], default="tiny")
@@ -153,6 +156,16 @@ def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
         default=0,
         help="shard featurization batches across N worker processes "
         "(vectorized backend only; 0 = in-process)",
+    )
+
+
+def _add_model_backend_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--model-backend",
+        choices=("loop", "batched"),
+        default="batched",
+        help="batch inference backend: one padded/masked forward + Viterbi "
+        "over the whole batch (default) or the per-table reference loop",
     )
 
 
@@ -230,6 +243,7 @@ def _cmd_predict(args: argparse.Namespace) -> int:
                 args.model,
                 feature_backend=args.feature_backend,
                 workers=args.workers,
+                model_backend=args.model_backend,
             )
         except BundleFormatError as error:
             print(f"cannot load model bundle: {error}", file=sys.stderr)
@@ -240,7 +254,7 @@ def _cmd_predict(args: argparse.Namespace) -> int:
         model = _build_variant(variant, epochs)
         model.set_feature_backend(args.feature_backend, args.workers)
         model.fit(tables_from_jsonl(args.corpus))
-        predictor = Predictor(model)
+        predictor = Predictor(model, model_backend=args.model_backend)
     tables = [table_from_csv(path) for path in args.csv]
     predictions = predictor.predict_tables(tables)
     for path, table, labels in zip(args.csv, tables, predictions):
@@ -264,6 +278,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             cache_size=args.cache_size,
             feature_backend=args.feature_backend,
             workers=args.workers,
+            model_backend=args.model_backend,
         )
     except BundleFormatError as error:
         print(f"cannot load model bundle: {error}", file=sys.stderr)

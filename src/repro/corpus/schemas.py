@@ -12,7 +12,7 @@ structure of Figure 6.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.types import SEMANTIC_TYPES
 

@@ -144,6 +144,85 @@ class LinearChainCRF:
             best[i] = backpointers[i + 1, best[i + 1]]
         return best
 
+    def viterbi_batch(
+        self, unaries: np.ndarray, lengths: np.ndarray
+    ) -> list[np.ndarray]:
+        """MAP-decode many chains at once over a padded unary tensor.
+
+        Parameters
+        ----------
+        unaries:
+            Padded unary potentials of shape ``(n_tables, max_cols,
+            n_states)``.  Row ``b`` carries the real potentials of table
+            ``b`` in positions ``0 .. lengths[b]-1``; padded positions are
+            never read, so their fill value is irrelevant (zeros, ``nan``
+            and ``-inf`` all decode identically).
+        lengths:
+            Per-table chain lengths, shape ``(n_tables,)``.
+
+        Returns
+        -------
+        One int64 label array per table, trimmed to its true length and
+        bit-identical to calling :meth:`viterbi` on that table's own
+        ``(lengths[b], n_states)`` slice: the recurrence maxima and the
+        backtrace use ``argmax`` over the same state axis in the same
+        order, so even tie-breaking matches the per-table loop exactly.
+
+        The recurrence runs one vectorised step per column position across
+        every table simultaneously (``max(lengths)`` steps total instead of
+        ``sum(lengths)``), with finished chains carrying their final
+        ``delta`` forward unchanged (length masking).
+        """
+        unaries = np.asarray(unaries, dtype=np.float64)
+        if unaries.ndim != 3 or unaries.shape[2] != self.n_states:
+            raise ValueError(
+                f"unaries must have shape (n_tables, max_cols, {self.n_states})"
+            )
+        lengths = np.asarray(lengths, dtype=np.int64)
+        n_tables, max_cols, _ = unaries.shape
+        if lengths.shape != (n_tables,):
+            raise ValueError("lengths must have one entry per table")
+        if n_tables and (lengths.min() < 0 or lengths.max() > max_cols):
+            raise ValueError("lengths must lie in [0, max_cols]")
+        if n_tables == 0:
+            return []
+        max_len = int(lengths.max())
+        if max_len == 0:
+            return [np.zeros(0, dtype=np.int64) for _ in range(n_tables)]
+
+        scaled = self.unary_weight * unaries
+        # delta[b] is table b's running Viterbi scores; rows whose chain has
+        # already ended simply stop being updated (length masking), so padded
+        # positions — whatever their fill value, zeros or NaN — are never
+        # read.  Scores are laid out as [chain, next, prev] (the transposed
+        # pairwise matrix) so both reductions run over the contiguous last
+        # axis, and each step only computes the chains still active at that
+        # position.
+        delta = scaled[:, 0].copy()
+        pairwise_t = np.ascontiguousarray(self.pairwise.T)
+        backpointers = np.zeros((n_tables, max_len, self.n_states), dtype=np.int64)
+        for i in range(1, max_len):
+            active = np.flatnonzero(lengths > i)
+            d = delta if active.size == n_tables else delta[active]
+            scores = d[:, None, :] + pairwise_t[None, :, :]
+            pointers = np.argmax(scores, axis=2)
+            best = np.take_along_axis(scores, pointers[:, :, None], axis=2)[:, :, 0]
+            if active.size == n_tables:
+                backpointers[:, i] = pointers
+                delta = scaled[:, i] + best
+            else:
+                backpointers[active, i] = pointers
+                delta[active] = scaled[active, i] + best
+
+        labels = np.zeros((n_tables, max_len), dtype=np.int64)
+        last = np.maximum(lengths - 1, 0)
+        labels[np.arange(n_tables), last] = np.argmax(delta, axis=1)
+        for i in range(max_len - 2, -1, -1):
+            follow = i < lengths - 1  # position i+1 is real, its pointer valid
+            nxt = backpointers[np.arange(n_tables), i + 1, labels[:, i + 1]]
+            labels[:, i] = np.where(follow, nxt, labels[:, i])
+        return [labels[b, : lengths[b]].copy() for b in range(n_tables)]
+
     # ------------------------------------------------------------ learning
 
     def gradients(self, unary: np.ndarray, labels: np.ndarray) -> np.ndarray:

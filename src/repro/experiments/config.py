@@ -41,6 +41,9 @@ class ExperimentConfig:
     feature_backend: str = "vectorized"
     feature_workers: int = 0
 
+    # Batch inference (structured decode backend; see docs/performance.md)
+    model_backend: str = "batched"
+
     # Online serving (micro-batching policy; see docs/operations.md)
     serve_max_batch_size: int = DEFAULT_MAX_BATCH_SIZE
     serve_max_wait_ms: float = DEFAULT_MAX_WAIT_MS

@@ -106,7 +106,7 @@ def make_model_factories(
             model = SatoModel(
                 config=sato_config(use_topic, use_struct),
                 featurizer=_featurizer(config),
-            )
+            ).set_model_backend(config.model_backend)
             if use_topic:
                 # Keep the LDA budget under experiment control.
                 model.column_model.intent_estimator.lda.n_iterations = config.lda_iterations

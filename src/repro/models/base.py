@@ -64,6 +64,15 @@ class ColumnModel:
         """Predict types for a sequence of tables."""
         return [self.predict_table(t) for t in tables]
 
+    def predict_proba_tables(self, tables: Sequence[Table]) -> list[np.ndarray]:
+        """Per-column class probabilities for a sequence of tables.
+
+        The default loops per table; models built on the shared column
+        network override this with a single batched forward pass (see
+        :mod:`repro.models.batched`).
+        """
+        return [self.predict_proba_table(t) for t in tables]
+
     def column_embeddings(self, table: Table) -> np.ndarray:
         """Final-layer activations per column (used for the Col2Vec analysis).
 

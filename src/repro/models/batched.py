@@ -1,0 +1,215 @@
+"""Padded/masked batched model-core inference (the ``batched`` backend).
+
+The structured-prediction stage is the last per-table hot path of the
+serving stack: featurization is vectorized (``repro.features.engine``) and
+requests are micro-batched (``repro.serving.scheduler``), but the column
+network forward and the CRF Viterbi decode historically ran one table at a
+time.  This module batches both across a whole micro-batch:
+
+* **Forward** — every column of every table is flattened onto one *column
+  axis* (table boundaries recorded as offsets), featurized in a single
+  batched call and pushed through the column network as one matrix, so each
+  layer is one matmul over ``sum(n_columns)`` rows regardless of how many
+  tables the batch holds.
+* **Decode** — the per-table column-wise score matrices are packed into a
+  padded ``(n_tables, max_cols, n_types)`` log-unary tensor plus a
+  ``lengths`` vector, and :meth:`~repro.crf.LinearChainCRF.viterbi_batch`
+  decodes every chain simultaneously with length masking: one vectorised
+  recurrence step per column *position* instead of per column.  Padded
+  positions are never read, so the pad value is irrelevant.
+
+The per-table loop (``SatoModel.predict_table``) is kept as the bit-exact
+parity oracle: for the same fitted model the batched path produces the same
+decoded labels, including on 1-column tables and tie-breaking unaries.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.tables import Table
+from repro.types import INDEX_TO_TYPE
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (sato imports us)
+    from repro.models.sato import SatoModel
+
+__all__ = ["pad_unaries", "split_by_table", "BatchedInferenceCore"]
+
+#: Mirrors ``repro.models.sato._LOG_EPS`` (kept literal to avoid an import
+#: cycle): the same epsilon must be used so batched log-unaries are
+#: bit-identical to the loop path's.
+_LOG_EPS = 1e-12
+
+
+def split_by_table(rows: np.ndarray, tables: Sequence[Table]) -> list[np.ndarray]:
+    """Split a column-axis row matrix back into one slice per table.
+
+    Inverse of flattening a batch of tables onto the column axis: ``rows``
+    holds one row per column of every table, in table order; the returned
+    views carry ``tables[i].n_columns`` rows each.
+
+    Examples:
+        >>> import numpy as np
+        >>> from repro.tables import Column, Table
+        >>> one = Table(columns=[Column(values=["a"])])
+        >>> two = Table(columns=[Column(values=["b"]), Column(values=["c"])])
+        >>> parts = split_by_table(np.arange(3)[:, None], [one, two])
+        >>> [part.ravel().tolist() for part in parts]
+        [[0], [1, 2]]
+    """
+    split: list[np.ndarray] = []
+    offset = 0
+    for table in tables:
+        split.append(rows[offset : offset + table.n_columns])
+        offset += table.n_columns
+    return split
+
+
+def pad_unaries(
+    probabilities: Sequence[np.ndarray], n_states: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Pack per-table score matrices into a padded log-unary tensor.
+
+    Parameters
+    ----------
+    probabilities:
+        One ``(n_columns, n_states)`` column-wise score matrix per table.
+    n_states:
+        Number of semantic types (the tensor's last axis).
+
+    Returns
+    -------
+    ``(unaries, lengths)`` where ``unaries`` has shape ``(n_tables,
+    max_cols, n_states)`` holding ``log(p + eps)`` in real positions and
+    zeros in padding, and ``lengths`` holds each table's true column count.
+    The scatter is fully vectorised: one concatenation, one ``log`` over
+    every real row, one fancy-indexed assignment.
+
+    Examples:
+        >>> import numpy as np
+        >>> unaries, lengths = pad_unaries(
+        ...     [np.full((1, 2), 0.5), np.full((3, 2), 0.25)], n_states=2
+        ... )
+        >>> unaries.shape, lengths.tolist()
+        ((2, 3, 2), [1, 3])
+        >>> bool(np.all(unaries[0, 1:] == 0.0))  # padding rows stay zero
+        True
+        >>> bool(np.allclose(unaries[1], np.log(0.25 + 1e-12)))
+        True
+    """
+    lengths = np.array([p.shape[0] for p in probabilities], dtype=np.int64)
+    n_tables = len(lengths)
+    max_cols = int(lengths.max()) if n_tables else 0
+    unaries = np.zeros((n_tables, max_cols, n_states), dtype=np.float64)
+    total = int(lengths.sum())
+    if total:
+        flat = np.concatenate([np.asarray(p, dtype=np.float64) for p in probabilities])
+        rows = np.repeat(np.arange(n_tables), lengths)
+        starts = np.repeat(np.cumsum(lengths) - lengths, lengths)
+        positions = np.arange(total) - starts
+        unaries[rows, positions] = np.log(flat + _LOG_EPS)
+    return unaries, lengths
+
+
+class BatchedInferenceCore:
+    """Batched forward + batched structured decode over a fitted Sato model.
+
+    Wraps a fitted :class:`~repro.models.sato.SatoModel` and serves whole
+    batches of tables through one column-network forward pass and one
+    masked :meth:`~repro.crf.LinearChainCRF.viterbi_batch` decode.  This is
+    what ``model_backend="batched"`` routes to in
+    :meth:`SatoModel.predict_tables` and in the serving
+    :class:`~repro.serving.Predictor`.
+
+    Examples:
+        >>> from repro.corpus import CorpusConfig, CorpusGenerator
+        >>> from repro.models import SatoConfig, SatoModel, TrainingConfig
+        >>> from repro.models.batched import BatchedInferenceCore
+        >>> tables = CorpusGenerator(CorpusConfig(n_tables=6, seed=2)).generate()
+        >>> config = SatoConfig(use_topic=False, use_struct=False,
+        ...                     training=TrainingConfig(n_epochs=1,
+        ...                                             subnet_dim=4,
+        ...                                             hidden_dim=8))
+        >>> model = SatoModel(config=config).fit(tables)
+        >>> core = BatchedInferenceCore(model)
+        >>> batched = core.predict_tables(tables[:3])
+        >>> batched == [model.predict_table(t) for t in tables[:3]]
+        True
+    """
+
+    def __init__(self, model: "SatoModel") -> None:
+        self.model = model
+
+    # ------------------------------------------------------------- forward
+
+    def columnwise_proba(self, tables: Sequence[Table]) -> list[np.ndarray]:
+        """Column-wise scores per table from one batched forward pass."""
+        return self.model.column_model.predict_proba_tables(tables)
+
+    # -------------------------------------------------------------- decode
+
+    def labels_from_proba(
+        self, probabilities: Sequence[np.ndarray]
+    ) -> list[list[str]]:
+        """Decode every table's labels given per-table column-wise scores.
+
+        Tables the CRF applies to (structured variant, fitted CRF, more
+        than one column) are decoded together by ``viterbi_batch`` over one
+        padded tensor; all remaining columns are decoded by a single
+        ``argmax`` over their concatenation.  Both halves are bit-identical
+        to the per-table loop (``SatoModel.labels_from_proba``).
+        """
+        model = self.model
+        probabilities = list(probabilities)
+        results: list[list[str] | None] = [None] * len(probabilities)
+
+        structured = [
+            i for i, proba in enumerate(probabilities) if model._crf_active(proba)
+        ]
+        structured_set = set(structured)
+        independent = [i for i in range(len(probabilities)) if i not in structured_set]
+
+        if independent:
+            matrices = [probabilities[i] for i in independent]
+            lengths = [matrix.shape[0] for matrix in matrices]
+            if sum(lengths):
+                flat = np.argmax(np.concatenate(matrices, axis=0), axis=1)
+            else:
+                flat = np.zeros(0, dtype=np.int64)
+            offset = 0
+            for i, length in zip(independent, lengths):
+                results[i] = [
+                    INDEX_TO_TYPE[int(k)] for k in flat[offset : offset + length]
+                ]
+                offset += length
+
+        if structured:
+            assert model.crf is not None
+            unaries, lengths = pad_unaries(
+                [probabilities[i] for i in structured], model.crf.n_states
+            )
+            decoded_chains = model.crf.viterbi_batch(unaries, lengths)
+            for i, decoded in zip(structured, decoded_chains):
+                results[i] = [INDEX_TO_TYPE[int(k)] for k in decoded]
+
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------- serving
+
+    def predict_tables(self, tables: Sequence[Table]) -> list[list[str]]:
+        """Decoded semantic types per table, end-to-end batched."""
+        return self.labels_from_proba(self.columnwise_proba(tables))
+
+    def predict_proba_tables(self, tables: Sequence[Table]) -> list[np.ndarray]:
+        """Structured per-column distributions per table.
+
+        The forward pass is batched; the CRF *marginal* decode (unlike
+        Viterbi) still runs per table — posterior marginals need a full
+        forward-backward per chain and are off the label-serving hot path.
+        """
+        return [
+            self.model.marginals_from_proba(proba)
+            for proba in self.columnwise_proba(tables)
+        ]

@@ -30,9 +30,14 @@ from repro.models.topic_aware import TopicAwareModel
 from repro.tables import Table
 from repro.types import INDEX_TO_TYPE, NUM_TYPES, TYPE_TO_INDEX
 
-__all__ = ["SatoConfig", "SatoModel"]
+__all__ = ["MODEL_BACKENDS", "SatoConfig", "SatoModel"]
 
 _LOG_EPS = 1e-12
+
+#: Inference backends for batch prediction: ``loop`` decodes one table at a
+#: time (the parity oracle), ``batched`` runs one forward pass and one
+#: masked Viterbi over the whole batch (see :mod:`repro.models.batched`).
+MODEL_BACKENDS = ("loop", "batched")
 
 
 @dataclass
@@ -80,6 +85,9 @@ class SatoModel(ColumnModel):
             )
         self.crf: LinearChainCRF | None = None
         self.name = self._variant_name()
+        #: Batch-inference backend (runtime knob, not fitted state).
+        self.model_backend = "batched"
+        self._batched_core = None
 
     def _variant_name(self) -> str:
         if self.config.use_topic and self.config.use_struct:
@@ -119,6 +127,22 @@ class SatoModel(ColumnModel):
         :meth:`repro.features.featurizer.ColumnFeaturizer.set_backend`.
         """
         self.column_model.set_feature_backend(backend, workers)
+        return self
+
+    def set_model_backend(self, backend: str) -> "SatoModel":
+        """Switch the batch-inference backend (``loop`` or ``batched``).
+
+        Purely a runtime-performance knob: both backends decode the same
+        labels (the per-table loop is the batched path's parity oracle), so
+        it never changes results — only how much Python runs per table.
+        Applies to the batch entry points (:meth:`predict_tables`,
+        :meth:`predict_proba_tables`); single-table calls always loop.
+        """
+        if backend not in MODEL_BACKENDS:
+            raise ValueError(
+                f"unknown model backend {backend!r}; expected one of {MODEL_BACKENDS}"
+            )
+        self.model_backend = backend
         return self
 
     # ------------------------------------------------------------- training
@@ -204,6 +228,28 @@ class SatoModel(ColumnModel):
             indices = probabilities.argmax(axis=1)
         return [INDEX_TO_TYPE[int(i)] for i in indices]
 
+    def _core(self):
+        """The lazily built batched inference core (shared across calls)."""
+        if self._batched_core is None:
+            from repro.models.batched import BatchedInferenceCore
+
+            self._batched_core = BatchedInferenceCore(self)
+        return self._batched_core
+
+    def labels_from_proba_batch(
+        self, probabilities: Sequence[np.ndarray]
+    ) -> list[list[str]]:
+        """Batched structured decode given per-table column-wise scores.
+
+        Packs every CRF-eligible table into one padded unary tensor and
+        decodes all chains with a single masked Viterbi recurrence;
+        remaining columns are decoded by one shared ``argmax``.  Decoded
+        labels are bit-identical to calling :meth:`labels_from_proba` per
+        table.  This is the serving hot path behind
+        ``model_backend="batched"``.
+        """
+        return self._core().labels_from_proba(probabilities)
+
     def predict_proba_table(self, table: Table) -> np.ndarray:
         """Per-column type distributions.
 
@@ -215,6 +261,31 @@ class SatoModel(ColumnModel):
     def predict_table(self, table: Table) -> list[str]:
         """Predicted semantic type per column (Viterbi when the CRF is on)."""
         return self.labels_from_proba(self.column_model.predict_proba_table(table))
+
+    def predict_tables(self, tables: Sequence[Table]) -> list[list[str]]:
+        """Predicted types for a batch of tables (honours ``model_backend``).
+
+        Under the default ``batched`` backend this is one featurization
+        call, one column-network forward pass and one masked Viterbi over
+        the whole batch; under ``loop`` it decodes per table (the parity
+        oracle).
+        """
+        tables = list(tables)
+        if self.model_backend == "loop":
+            return [self.predict_table(table) for table in tables]
+        return self._core().predict_tables(tables)
+
+    def predict_proba_tables(self, tables: Sequence[Table]) -> list[np.ndarray]:
+        """Structured per-column distributions for a batch of tables.
+
+        The ``batched`` backend batches featurization and the forward pass;
+        the marginal decode itself stays per table (see
+        :meth:`repro.models.batched.BatchedInferenceCore.predict_proba_tables`).
+        """
+        tables = list(tables)
+        if self.model_backend == "loop":
+            return [self.predict_proba_table(table) for table in tables]
+        return self._core().predict_proba_tables(tables)
 
     def column_embeddings(self, table: Table) -> np.ndarray:
         """Column embeddings from the column-wise model (before the CRF)."""

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.features import ColumnFeaturizer
 from repro.models.base import ColumnModel, TrainingConfig
+from repro.models.batched import split_by_table
 from repro.models.column_network import GroupSpec, MultiInputClassifier, NetworkTrainer
 from repro.tables import Table
 from repro.types import NUM_TYPES, TYPE_TO_INDEX
@@ -158,6 +159,29 @@ class SherlockModel(ColumnModel):
             return np.zeros((0, self.n_classes))
         features = self.featurizer.transform_table(table)
         return self.predict_proba_from_features(features)
+
+    def _batch_topic_rows(self, tables: Sequence[Table]) -> np.ndarray | None:
+        """Per-column topic rows for a batch (None for topic-free models)."""
+        return None
+
+    def predict_proba_tables(self, tables: Sequence[Table]) -> list[np.ndarray]:
+        """Column-wise class scores for many tables from one forward pass.
+
+        Every column of every table is featurized in one batched call and
+        pushed through the network as a single matrix (one matmul per
+        layer); the stacked score matrix is then split back per table.
+        """
+        if self.network is None:
+            raise RuntimeError("model is not fitted")
+        tables = list(tables)
+        columns = [column for table in tables for column in table.columns]
+        if not columns:
+            return [np.zeros((0, self.n_classes)) for _ in tables]
+        features = self.featurizer.transform_columns(columns)
+        probabilities = self.predict_proba_matrix(
+            features, self._batch_topic_rows(tables)
+        )
+        return split_by_table(probabilities, tables)
 
     def column_embeddings(self, table: Table) -> np.ndarray:
         """Final hidden-layer activations per column."""

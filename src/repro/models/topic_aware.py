@@ -18,7 +18,7 @@ from repro.models.column_network import GroupSpec, NetworkTrainer
 from repro.models.sherlock import SherlockModel
 from repro.tables import Table
 from repro.topic import TableIntentEstimator
-from repro.types import NUM_TYPES, TYPE_TO_INDEX
+from repro.types import NUM_TYPES
 
 __all__ = ["TopicAwareModel"]
 
@@ -121,6 +121,10 @@ class TopicAwareModel(SherlockModel):
         topic = self.intent_estimator.topic_vector(table)
         topics = np.tile(topic, (features.shape[0], 1))
         return self.predict_proba_from_features(features, topics)
+
+    def _batch_topic_rows(self, tables: Sequence[Table]) -> np.ndarray:
+        """One topic row per column: each table's vector tiled over its columns."""
+        return self._column_topic_matrix(tables)
 
     def column_embeddings(self, table: Table) -> np.ndarray:
         """Final hidden-layer activations per column (topic-aware)."""

@@ -165,7 +165,6 @@ class BatchNorm1d(Layer):
         grad_normalized = grad_output * self.gamma.data
         if not used_batch_stats:
             return grad_normalized / std
-        n = grad_output.shape[0]
         return (
             grad_normalized
             - grad_normalized.mean(axis=0)

@@ -29,7 +29,8 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.models import SatoModel, TopicAwareModel
+from repro.models import MODEL_BACKENDS, SatoModel, TopicAwareModel
+from repro.models.batched import split_by_table
 from repro.serving.bundle import load_model
 from repro.tables import Column, Table
 
@@ -135,6 +136,12 @@ class Predictor:
         ``"vectorized"``) applied to the model's featurizer.
     workers:
         Optional process-pool shard count for the vectorized backend.
+    model_backend:
+        Batch-decode backend: ``"batched"`` (default) decodes every
+        CRF-eligible table of a batch in one masked Viterbi pass
+        (:mod:`repro.models.batched`); ``"loop"`` keeps the per-table
+        decode (the bit-exact parity oracle).  Stored on the predictor, not
+        the model, so two predictors over one model can differ.
 
     Columns are treated as immutable snapshots: both the feature cache and
     the per-object fingerprint memo assume a :class:`Column`'s values never
@@ -160,10 +167,17 @@ class Predictor:
         cache_size: int = 4096,
         feature_backend: str | None = None,
         workers: int | None = None,
+        model_backend: str = "batched",
     ) -> None:
         if model.column_model.network is None:
             raise RuntimeError("Predictor requires a fitted model")
+        if model_backend not in MODEL_BACKENDS:
+            raise ValueError(
+                f"unknown model backend {model_backend!r}; "
+                f"expected one of {MODEL_BACKENDS}"
+            )
         self.model = model
+        self.model_backend = model_backend
         self.column_model = model.column_model
         # A runtime clone shares all fitted state but owns its backend /
         # worker settings and engine, so two predictors over the same model
@@ -189,6 +203,7 @@ class Predictor:
         cache_size: int = 4096,
         feature_backend: str | None = None,
         workers: int | None = None,
+        model_backend: str = "batched",
     ) -> "Predictor":
         """Build a predictor straight from a saved bundle directory."""
         return cls(
@@ -196,6 +211,7 @@ class Predictor:
             cache_size=cache_size,
             feature_backend=feature_backend,
             workers=workers,
+            model_backend=model_backend,
         )
 
     # ------------------------------------------------------------- plumbing
@@ -292,12 +308,7 @@ class Predictor:
         topics = self._batch_topics(tables)
         probabilities = self.column_model.predict_proba_matrix(features, topics)
         self._predict_seconds += time.perf_counter() - started
-        split: list[np.ndarray] = []
-        offset = 0
-        for table in tables:
-            split.append(probabilities[offset: offset + table.n_columns])
-            offset += table.n_columns
-        return split
+        return split_by_table(probabilities, tables)
 
     # ------------------------------------------------------------- serving
 
@@ -310,12 +321,18 @@ class Predictor:
         ]
 
     def predict_tables(self, tables: Sequence[Table]) -> list[list[str]]:
-        """Predicted semantic types for every column of every table."""
+        """Predicted semantic types for every column of every table.
+
+        Under the default ``batched`` model backend the structured decode
+        runs once for the whole batch (one masked Viterbi recurrence over a
+        padded unary tensor) instead of once per table; ``loop`` keeps the
+        per-table decode as the parity oracle.
+        """
         tables = list(tables)
-        return [
-            self.model.labels_from_proba(proba)
-            for proba in self._columnwise_proba(tables)
-        ]
+        probabilities = self._columnwise_proba(tables)
+        if self.model_backend == "batched":
+            return self.model.labels_from_proba_batch(probabilities)
+        return [self.model.labels_from_proba(proba) for proba in probabilities]
 
     def predict_proba_table(self, table: Table) -> np.ndarray:
         """Structured per-column type distributions for one table."""
@@ -381,14 +398,15 @@ class Predictor:
 
         Tracks every batched forward pass served by this predictor:
         ``batches`` (number of ``predict*`` calls), ``tables`` and
-        ``columns`` (work volume), and ``predict_seconds`` (time spent in
+        ``columns`` (work volume), ``predict_seconds`` (time spent in
         featurization + the column-network forward, excluding structured
-        decode).  The online server surfaces this under the ``predictor``
-        key of ``GET /metrics``.
+        decode), and the active ``model_backend``.  The online server
+        surfaces this under the ``predictor`` key of ``GET /metrics``.
         """
         return {
             "batches": self._batches,
             "tables": self._tables,
             "columns": self._columns,
             "predict_seconds": self._predict_seconds,
+            "model_backend": self.model_backend,
         }

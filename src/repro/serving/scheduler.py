@@ -2,13 +2,15 @@
 
 One HTTP request carries one table with a handful of columns, but the whole
 inference stack — the vectorized featurization engine, the batched column
-network forward pass — is built around *large* batches.  Serving each
-request alone wastes that machinery on per-call Python and NumPy overhead.
-:class:`MicroBatcher` closes the gap: concurrent requests are coalesced
-into batches under a ``max_batch_size`` / ``max_wait_ms`` policy and
-dispatched together through one shared :class:`~repro.serving.Predictor`
-call, so the per-call fixed costs are amortised across every request that
-happened to arrive in the same window.
+network forward pass, the masked batch Viterbi decode
+(:mod:`repro.models.batched`) — is built around *large* batches.  Serving
+each request alone wastes that machinery on per-call Python and NumPy
+overhead.  :class:`MicroBatcher` closes the gap: concurrent requests are
+coalesced into batches under a ``max_batch_size`` / ``max_wait_ms`` policy
+and dispatched together through one shared
+:class:`~repro.serving.Predictor` call — end-to-end batched execution, from
+featurization through structured decode — so the per-call fixed costs are
+amortised across every request that happened to arrive in the same window.
 
 The scheduler also owns the two properties an online system needs that a
 library call does not:

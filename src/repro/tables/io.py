@@ -12,7 +12,7 @@ import json
 from pathlib import Path
 from typing import Iterable, Iterator
 
-from repro.tables.table import Column, Table
+from repro.tables.table import Table
 
 __all__ = [
     "table_from_csv",

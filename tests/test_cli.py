@@ -34,6 +34,19 @@ class TestParser:
         assert args.cache_size == 4096
         assert args.feature_backend == "vectorized"
         assert args.workers == 0
+        assert args.model_backend == "batched"
+
+    def test_model_backend_choices(self):
+        args = build_parser().parse_args(
+            ["predict", "--model", "bundle/", "--csv", "t.csv",
+             "--model-backend", "loop"]
+        )
+        assert args.model_backend == "loop"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["predict", "--model", "bundle/", "--csv", "t.csv",
+                 "--model-backend", "turbo"]
+            )
 
     def test_serve_requires_model(self):
         with pytest.raises(SystemExit):

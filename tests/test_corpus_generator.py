@@ -1,6 +1,5 @@
 """Tests for the corpus generator."""
 
-import numpy as np
 import pytest
 
 from repro.corpus import CorpusConfig, CorpusGenerator, generate_corpus

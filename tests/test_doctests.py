@@ -13,6 +13,7 @@ import doctest
 import pytest
 
 import repro.features.engine
+import repro.models.batched
 import repro.serving
 import repro.serving.bundle
 import repro.serving.component
@@ -22,6 +23,7 @@ import repro.serving.server
 
 DOCUMENTED_MODULES = [
     repro.features.engine,
+    repro.models.batched,
     repro.serving,
     repro.serving.bundle,
     repro.serving.component,
@@ -31,6 +33,7 @@ DOCUMENTED_MODULES = [
 ]
 
 PUBLIC_EXAMPLE_PACKAGES = {
+    repro.models.batched: ["pad_unaries", "split_by_table", "BatchedInferenceCore"],
     repro.serving.bundle: ["save_model", "load_model", "BundleFormatError"],
     repro.serving.component: ["StatefulComponent"],
     repro.serving.predictor: ["column_fingerprint", "LRUCache", "Predictor"],

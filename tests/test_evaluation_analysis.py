@@ -18,7 +18,6 @@ from repro.evaluation import (
 from repro.evaluation.cross_validation import collect_predictions
 from repro.evaluation.embeddings import project_jointly
 from repro.evaluation.qualitative import CorrectionExample
-from repro.tables import Column, Table
 
 from helpers import make_tiny_model
 

@@ -1,7 +1,5 @@
 """Tests for the experiment harness (configs, pipeline, reporting, ablations)."""
 
-import pytest
-
 from repro.experiments import ExperimentConfig, build_corpus, make_model_factories, reporting
 from repro.experiments.pipeline import MODEL_VARIANTS
 

@@ -255,12 +255,13 @@ class TestFingerprintMemo:
 
     def test_equal_but_distinct_columns_share_feature_cache(self, trained_base):
         predictor = Predictor(trained_base)
-        make = lambda: Table(
-            columns=[
-                Column(values=["alpha", "beta", "gamma"]),
-                Column(values=["1", "2", "3"]),
-            ]
-        )
+        def make() -> Table:
+            return Table(
+                columns=[
+                    Column(values=["alpha", "beta", "gamma"]),
+                    Column(values=["1", "2", "3"]),
+                ]
+            )
         predictor.predict_table(make())
         before = predictor.cache_info()
         predictor.predict_table(make())  # new objects, same content

@@ -2,7 +2,7 @@
 
 import numpy as np
 
-from repro import CorpusConfig, CorpusGenerator, SatoModel
+from repro import CorpusConfig, CorpusGenerator
 from repro.evaluation.cross_validation import collect_predictions
 from repro.evaluation.metrics import classification_report
 from repro.tables import Column, Table

@@ -13,7 +13,7 @@ from repro.models.column_network import GroupSpec, NetworkTrainer
 from repro.tables import Column, Table
 from repro.types import NUM_TYPES, SEMANTIC_TYPES
 
-from helpers import make_tiny_model, tiny_featurizer
+from helpers import make_tiny_model
 
 
 def _toy_inputs(batch, rng):

@@ -202,6 +202,7 @@ class TestPredictor:
         predictor = Predictor(trained_base)
         assert predictor.predict_info() == {
             "batches": 0, "tables": 0, "columns": 0, "predict_seconds": 0.0,
+            "model_backend": "batched",
         }
         predictor.predict_tables(test)
         predictor.predict_table(test[0])

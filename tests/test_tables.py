@@ -1,7 +1,5 @@
 """Tests for the Table / Column data model."""
 
-import pytest
-
 from repro.tables import Column, Table
 
 
