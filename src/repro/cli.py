@@ -9,22 +9,36 @@ Subcommands::
     repro-sato serve     --model model/ --port 8080 \
                          --max-batch-size 32 --max-wait-ms 2 \
                          --model-backend batched
+    repro-sato serve     --registry registry/ --model-name sato \
+                         --watch-interval 2
     repro-sato evaluate  --corpus corpus.jsonl --variant Sato --k 3
+    repro-sato evaluate  --model model/ --corpus eval.jsonl
+    repro-sato registry  publish --registry registry/ --name sato --model model/
+    repro-sato registry  promote --registry registry/ --name sato \
+                         --version v0002 --gate --eval-set eval.jsonl
+    repro-sato registry  rollback --registry registry/ --name sato
+    repro-sato registry  list --registry registry/
+    repro-sato registry  gc --registry registry/ --name sato --keep 2
     repro-sato report    --preset tiny
 
 ``generate`` writes a synthetic corpus.  ``train`` fits a model variant on a
 corpus and saves it as an artifact bundle, after which ``predict --model``
 loads the bundle and serves per-column predictions for CSV tables without
 retraining.  When ``--model`` is absent, ``predict --corpus`` falls back to
-the legacy retrain-per-call behaviour.  ``serve`` exposes a bundle over
-HTTP with micro-batched online inference (see ``docs/http_api.md`` and
-``docs/operations.md``).  ``evaluate`` cross-validates one model variant
-and ``report`` regenerates the Table 1 summary for a configuration preset.
+the legacy retrain-per-call behaviour.  ``serve`` exposes a bundle — or, in
+registry mode, the *promoted version* of a registered model, hot-swapping
+on promotion — over HTTP with micro-batched online inference (see
+``docs/http_api.md`` and ``docs/operations.md``).  ``evaluate`` either
+cross-validates one model variant (legacy) or, with ``--model``, evaluates
+a saved bundle on a held-out corpus without any retraining.  ``registry``
+manages the versioned model lifecycle (``docs/registry.md``) and ``report``
+regenerates the Table 1 summary for a configuration preset.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import Sequence
@@ -33,6 +47,8 @@ from repro.corpus import CorpusConfig, CorpusGenerator
 from repro.evaluation import evaluate_model_cv
 from repro.experiments import ExperimentConfig, reporting, run_main_results
 from repro.experiments.pipeline import make_model_factories
+from repro.registry.gates import DEFAULT_GATE_MIN_AGREEMENT, DEFAULT_GATE_MIN_F1
+from repro.registry.watch import DEFAULT_WATCH_INTERVAL
 from repro.serving import BundleFormatError, Predictor, save_model
 from repro.serving.scheduler import (
     DEFAULT_MAX_BATCH_SIZE,
@@ -69,8 +85,20 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--epochs", type=int, default=15)
     _add_backend_arguments(train)
 
-    evaluate = subparsers.add_parser("evaluate", help="cross-validate a model variant")
-    evaluate.add_argument("--corpus", required=True, help="corpus JSONL path")
+    evaluate = subparsers.add_parser(
+        "evaluate",
+        help="evaluate a saved bundle on a held-out corpus, or cross-validate a variant",
+    )
+    evaluate.add_argument(
+        "--model",
+        help="saved model bundle directory: evaluate it on --corpus as a "
+        "held-out set (no retraining)",
+    )
+    evaluate.add_argument(
+        "--corpus",
+        required=True,
+        help="corpus JSONL path (the eval set with --model, the CV corpus without)",
+    )
     evaluate.add_argument("--variant", choices=MODEL_VARIANTS, default="Sato")
     evaluate.add_argument("--k", type=int, default=3)
     evaluate.add_argument("--multi-column-only", action="store_true")
@@ -103,10 +131,42 @@ def build_parser() -> argparse.ArgumentParser:
     _add_model_backend_argument(predict)
 
     serve = subparsers.add_parser(
-        "serve", help="serve a model bundle over HTTP with micro-batching"
+        "serve",
+        help="serve a model bundle (or a registry's promoted version) over "
+        "HTTP with micro-batching and zero-downtime hot swap",
+    )
+    serve_source = serve.add_mutually_exclusive_group(required=True)
+    serve_source.add_argument("--model", help="saved model bundle directory")
+    serve_source.add_argument(
+        "--registry",
+        help="registry root: serve the promoted version of --model-name and "
+        "enable admin reload/shadow endpoints",
     )
     serve.add_argument(
-        "--model", required=True, help="saved model bundle directory"
+        "--model-name",
+        help="registered model name to serve (registry mode)",
+    )
+    serve.add_argument(
+        "--model-version",
+        help="pin a registry version instead of the promoted one "
+        "(disables promotion watching; admin reloads stay available)",
+    )
+    serve.add_argument(
+        "--watch-interval",
+        type=float,
+        default=DEFAULT_WATCH_INTERVAL,
+        help="seconds between promotion-pointer polls in registry mode "
+        "(0 disables watching; reloads stay available via the admin API)",
+    )
+    serve.add_argument(
+        "--shadow-version",
+        help="start mirroring traffic to this registry version immediately",
+    )
+    serve.add_argument(
+        "--shadow-fraction",
+        type=float,
+        default=0.1,
+        help="fraction of requests mirrored to the shadow candidate",
     )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8080)
@@ -136,6 +196,88 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_backend_arguments(serve)
     _add_model_backend_argument(serve)
+
+    registry = subparsers.add_parser(
+        "registry",
+        help="versioned model lifecycle: publish, promote (gated), rollback, gc",
+    )
+    registry_sub = registry.add_subparsers(dest="registry_command", required=True)
+
+    publish = registry_sub.add_parser(
+        "publish", help="publish a trained bundle as a new immutable version"
+    )
+    publish.add_argument("--registry", required=True, help="registry root directory")
+    publish.add_argument("--name", required=True, help="registered model name")
+    publish.add_argument(
+        "--model", required=True, help="bundle directory to publish (from `train`)"
+    )
+    publish.add_argument(
+        "--parent", help="lineage parent version (default: the promoted version)"
+    )
+    publish.add_argument(
+        "--corpus-fingerprint", help="hash/identifier of the training corpus"
+    )
+    publish.add_argument(
+        "--metric",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="train-time metric to record as lineage (repeatable)",
+    )
+
+    promote = registry_sub.add_parser(
+        "promote", help="point live traffic at a published version (atomic)"
+    )
+    promote.add_argument("--registry", required=True)
+    promote.add_argument("--name", required=True)
+    promote.add_argument("--version", required=True)
+    promote.add_argument(
+        "--gate",
+        action="store_true",
+        help="refuse promotion unless the candidate clears the eval gates",
+    )
+    promote.add_argument(
+        "--eval-set", help="held-out labelled corpus JSONL (required with --gate)"
+    )
+    promote.add_argument(
+        "--min-f1",
+        type=float,
+        default=DEFAULT_GATE_MIN_F1,
+        help="minimum held-out macro-F1 the candidate must reach",
+    )
+    promote.add_argument(
+        "--min-agreement",
+        type=float,
+        default=DEFAULT_GATE_MIN_AGREEMENT,
+        help="minimum column agreement with the incumbent (replay or --shadow-agreement)",
+    )
+    promote.add_argument(
+        "--shadow-agreement",
+        type=float,
+        help="live shadow agreement rate measured by a serving instance "
+        "(overrides the offline replay agreement)",
+    )
+
+    rollback = registry_sub.add_parser(
+        "rollback", help="re-promote the previously promoted version"
+    )
+    rollback.add_argument("--registry", required=True)
+    rollback.add_argument("--name", required=True)
+
+    registry_list = registry_sub.add_parser(
+        "list", help="list registered models and their versions"
+    )
+    registry_list.add_argument("--registry", required=True)
+    registry_list.add_argument("--name", help="limit to one registered name")
+
+    gc = registry_sub.add_parser(
+        "gc", help="delete old unpromoted versions and staging garbage"
+    )
+    gc.add_argument("--registry", required=True)
+    gc.add_argument("--name", required=True)
+    gc.add_argument(
+        "--keep", type=int, default=2, help="newest unpromoted versions to keep"
+    )
 
     report = subparsers.add_parser("report", help="regenerate the Table 1 summary")
     report.add_argument("--preset", choices=["tiny", "fast", "large"], default="tiny")
@@ -203,6 +345,33 @@ def _cmd_train(args: argparse.Namespace) -> int:
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
+    if args.model is not None:
+        # Bundle path: load once, evaluate on the corpus as a held-out set.
+        # No retraining — the seed-era behaviour of refitting per invocation
+        # only applies to the legacy cross-validation path below.
+        from repro.registry import holdout_report, load_eval_tables
+
+        try:
+            predictor = Predictor.from_bundle(args.model)
+        except BundleFormatError as error:
+            print(f"cannot load model bundle: {error}", file=sys.stderr)
+            return 2
+        try:
+            tables = load_eval_tables(args.corpus)
+        except (OSError, ValueError) as error:
+            print(f"cannot load eval set {args.corpus}: {error}", file=sys.stderr)
+            return 2
+        if args.multi_column_only:
+            tables = [t for t in tables if t.n_columns > 1]
+        report = holdout_report(predictor, tables)
+        print(
+            f"{predictor.model.name} ({args.model}): "
+            f"macro F1={report.macro_f1:.3f}, "
+            f"weighted F1={report.weighted_f1:.3f}, "
+            f"accuracy={report.accuracy:.3f} "
+            f"on {len(tables)} held-out tables ({report.n_samples} columns)"
+        )
+        return 0
     tables = tables_from_jsonl(args.corpus)
     if args.multi_column_only:
         tables = [t for t in tables if t.n_columns > 1]
@@ -272,17 +441,63 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.serving.server import ServingServer
 
-    try:
-        predictor = Predictor.from_bundle(
-            args.model,
-            cache_size=args.cache_size,
-            feature_backend=args.feature_backend,
-            workers=args.workers,
-            model_backend=args.model_backend,
-        )
-    except BundleFormatError as error:
-        print(f"cannot load model bundle: {error}", file=sys.stderr)
-        return 2
+    registry = None
+    shadow = None
+    if args.registry is not None:
+        from repro.registry import ModelRegistry, RegistryError, ShadowEvaluator
+
+        if args.model_name is None:
+            print("--registry requires --model-name", file=sys.stderr)
+            return 2
+        if not 0.0 <= args.shadow_fraction <= 1.0:
+            print("--shadow-fraction must be within [0, 1]", file=sys.stderr)
+            return 2
+        registry = ModelRegistry(args.registry)
+        try:
+            predictor = Predictor.from_registry(
+                registry,
+                args.model_name,
+                version=args.model_version,
+                cache_size=args.cache_size,
+                feature_backend=args.feature_backend,
+                workers=args.workers,
+                model_backend=args.model_backend,
+            )
+        except (RegistryError, BundleFormatError) as error:
+            print(f"cannot load from registry: {error}", file=sys.stderr)
+            return 2
+        if args.shadow_version is not None:
+            try:
+                candidate = Predictor.from_registry(
+                    registry, args.model_name, version=args.shadow_version
+                )
+            except (RegistryError, BundleFormatError) as error:
+                print(f"cannot load shadow candidate: {error}", file=sys.stderr)
+                return 2
+            shadow = ShadowEvaluator(
+                candidate,
+                fraction=args.shadow_fraction,
+                version=args.shadow_version,
+            )
+    else:
+        if args.model_name or args.model_version or args.shadow_version:
+            print(
+                "--model-name/--model-version/--shadow-version require "
+                "--registry",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            predictor = Predictor.from_bundle(
+                args.model,
+                cache_size=args.cache_size,
+                feature_backend=args.feature_backend,
+                workers=args.workers,
+                model_backend=args.model_backend,
+            )
+        except BundleFormatError as error:
+            print(f"cannot load model bundle: {error}", file=sys.stderr)
+            return 2
 
     async def _serve() -> None:
         server = ServingServer(
@@ -292,6 +507,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_batch_size=args.max_batch_size,
             max_wait_ms=args.max_wait_ms,
             max_queue=args.max_queue,
+            registry=registry,
+            model_name=args.model_name if registry is not None else None,
+            # A pinned --model-version must stay pinned: the watcher would
+            # otherwise converge the server back to the promoted version.
+            watch_interval=(
+                args.watch_interval
+                if registry is not None
+                and args.model_version is None
+                and args.watch_interval > 0
+                else None
+            ),
+            bundle_path=args.model,
+            shadow=shadow,
         )
         await server.start()
         # Handle shutdown signals inside the loop: the drain then runs to
@@ -305,8 +533,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 loop.add_signal_handler(signum, shutdown.set)
             except NotImplementedError:  # pragma: no cover - non-POSIX loops
                 pass
+        source = (
+            f"{args.registry}:{args.model_name}@{predictor.model_version}"
+            if registry is not None
+            else args.model
+        )
         print(
-            f"serving {args.model} on http://{args.host}:{server.port} "
+            f"serving {source} on http://{args.host}:{server.port} "
             f"(max_batch_size={args.max_batch_size}, "
             f"max_wait_ms={args.max_wait_ms}, max_queue={args.max_queue})"
         )
@@ -321,6 +554,135 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         pass  # signal handler unavailable on this platform; exit plainly
     return 0
+
+
+def _parse_metrics(pairs: list[str]) -> dict:
+    metrics: dict[str, float | str] = {}
+    for pair in pairs:
+        key, separator, value = pair.partition("=")
+        if not separator or not key:
+            raise ValueError(f"--metric expects KEY=VALUE, got {pair!r}")
+        try:
+            metrics[key] = float(value)
+        except ValueError:
+            metrics[key] = value
+    return metrics
+
+
+def _cmd_registry(args: argparse.Namespace) -> int:
+    from repro.registry import (
+        ModelRegistry,
+        RegistryError,
+        load_eval_tables,
+        run_gate,
+    )
+
+    registry = ModelRegistry(args.registry)
+    try:
+        if args.registry_command == "publish":
+            try:
+                metrics = _parse_metrics(args.metric)
+            except ValueError as error:
+                print(str(error), file=sys.stderr)
+                return 2
+            info = registry.publish(
+                args.model,
+                args.name,
+                train_metrics=metrics,
+                corpus_fingerprint=args.corpus_fingerprint,
+                parent=args.parent,
+            )
+            print(
+                f"published {args.name}/{info.version} "
+                f"(fingerprint {info.fingerprint}, parent {info.parent or '-'})"
+            )
+            return 0
+
+        if args.registry_command == "promote":
+            gate_record = None
+            if args.gate:
+                if args.eval_set is None:
+                    print("--gate requires --eval-set", file=sys.stderr)
+                    return 2
+                try:
+                    eval_tables = load_eval_tables(args.eval_set)
+                except (OSError, ValueError) as error:
+                    print(
+                        f"cannot load eval set {args.eval_set}: {error}",
+                        file=sys.stderr,
+                    )
+                    return 2
+                candidate = Predictor.from_registry(
+                    registry, args.name, version=args.version
+                )
+                incumbent = None
+                current = registry.current_version(args.name)
+                if current is not None and current != args.version:
+                    incumbent = Predictor.from_registry(
+                        registry, args.name, version=current
+                    )
+                result = run_gate(
+                    candidate,
+                    eval_tables,
+                    min_macro_f1=args.min_f1,
+                    min_agreement=args.min_agreement,
+                    incumbent=incumbent,
+                    shadow_agreement=args.shadow_agreement,
+                )
+                agreement = (
+                    f"{result.agreement:.3f}" if result.agreement is not None else "n/a"
+                )
+                print(
+                    f"gate: macro F1={result.macro_f1:.3f} "
+                    f"(min {args.min_f1:.3f}), agreement={agreement} "
+                    f"(min {args.min_agreement:.3f})"
+                )
+                if not result.passed:
+                    for reason in result.reasons:
+                        print(f"REFUSED: {reason}", file=sys.stderr)
+                    return 1
+                gate_record = result.to_dict()
+            info = registry.promote(args.name, args.version, gate=gate_record)
+            print(f"promoted {args.name}/{info.version}")
+            return 0
+
+        if args.registry_command == "rollback":
+            info = registry.rollback(args.name)
+            print(f"rolled back {args.name} to {info.version}")
+            return 0
+
+        if args.registry_command == "list":
+            names = [args.name] if args.name else registry.names()
+            if not names:
+                print("registry is empty")
+                return 0
+            for name in names:
+                current = registry.current_version(name)
+                print(f"{name}:")
+                for info in registry.list_versions(name):
+                    marker = " *" if info.version == current else "  "
+                    metrics = (
+                        json.dumps(info.train_metrics, sort_keys=True)
+                        if info.train_metrics
+                        else "-"
+                    )
+                    print(
+                        f" {marker} {info.version}  parent={info.parent or '-'}  "
+                        f"fingerprint={info.fingerprint[:12]}  metrics={metrics}"
+                    )
+            return 0
+
+        if args.registry_command == "gc":
+            removed = registry.gc(args.name, keep_unpromoted=args.keep)
+            if removed:
+                print(f"removed {', '.join(removed)}")
+            else:
+                print("nothing to remove")
+            return 0
+    except RegistryError as error:
+        print(f"registry error: {error}", file=sys.stderr)
+        return 1
+    raise AssertionError(f"unhandled registry command {args.registry_command!r}")
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -344,6 +706,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "evaluate": _cmd_evaluate,
         "predict": _cmd_predict,
         "serve": _cmd_serve,
+        "registry": _cmd_registry,
         "report": _cmd_report,
     }
     return handlers[args.command](args)

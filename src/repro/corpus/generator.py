@@ -1,9 +1,18 @@
-"""Synthetic WebTables-style corpus generator.
+"""Synthetic WebTables-style corpus generator (the *table* level).
 
 The generator samples a table *intent* (schema), selects which of the
 schema's column slots are present, samples coherent row entities, generates
 cell values via the per-type generators, injects noise, and packages the
 result into :class:`~repro.tables.Table` objects with ground-truth labels.
+
+Despite the similar names, this module and :mod:`repro.corpus.generators`
+are different layers, not duplicates: this module owns table-level
+composition (schema sampling, slot selection, row-entity coordination,
+noise injection, packaging), while ``generators.py`` owns the *cell*
+level — one value-generator function per semantic type plus the shared
+person/place entity builders.  The only coupling is this module calling
+``generate_value``/``make_person``/``make_place``; nothing is defined in
+both.
 """
 
 from __future__ import annotations

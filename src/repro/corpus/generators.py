@@ -11,6 +11,10 @@ Crucially, several generators intentionally share vocabularies (``city``,
 ``creator``, ``director``, ``owner`` and ``jockey`` all emit person names).
 That shared support is what makes single-column prediction ambiguous and what
 the topic and CRF modules of Sato disambiguate.
+
+This module is the *cell* level of corpus synthesis; table-level
+composition (schemas, slot selection, row coordination, noise) lives in
+:mod:`repro.corpus.generator` — see that module's docstring for the split.
 """
 
 from __future__ import annotations

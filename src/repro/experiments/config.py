@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.registry.gates import DEFAULT_GATE_MIN_AGREEMENT, DEFAULT_GATE_MIN_F1
+from repro.registry.watch import DEFAULT_WATCH_INTERVAL
 from repro.serving.scheduler import (
     DEFAULT_MAX_BATCH_SIZE,
     DEFAULT_MAX_QUEUE,
@@ -48,6 +50,12 @@ class ExperimentConfig:
     serve_max_batch_size: int = DEFAULT_MAX_BATCH_SIZE
     serve_max_wait_ms: float = DEFAULT_MAX_WAIT_MS
     serve_max_queue: int = DEFAULT_MAX_QUEUE
+
+    # Model lifecycle (registry hot-swap + shadow/canary; see docs/registry.md)
+    registry_watch_interval: float = DEFAULT_WATCH_INTERVAL
+    serve_shadow_fraction: float = 0.1
+    gate_min_macro_f1: float = DEFAULT_GATE_MIN_F1
+    gate_min_agreement: float = DEFAULT_GATE_MIN_AGREEMENT
 
     # Topic model
     n_topics: int = 24

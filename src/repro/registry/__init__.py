@@ -1,0 +1,62 @@
+"""Model registry: versioned lifecycle management for serving (PR 5).
+
+The serving stack (PRs 1–4) made one trained model cheap to serve; this
+package makes *which* model serves a managed, observable, reversible
+decision.  HTAP systems isolate the update path from the query path so
+neither blocks the other — the same split applied here means training,
+publication and promotion proceed concurrently with prediction traffic:
+
+* :class:`~repro.registry.store.ModelRegistry` — on-disk store of
+  immutable, versioned bundles with lineage, integrity checks, atomic
+  ``publish`` / ``promote`` / ``rollback`` (every transition is one
+  filesystem rename) and retention GC,
+* :class:`~repro.registry.shadow.ShadowEvaluator` — mirrors a fraction of
+  live requests to a candidate version off the hot path and accumulates
+  agreement / per-type divergence statistics into ``/metrics``,
+* :mod:`~repro.registry.gates` — quantitative promotion gates (held-out
+  macro-F1, incumbent agreement) recorded with every promotion,
+* :class:`~repro.registry.watch.RegistryWatcher` — promotion-pointer
+  polling that lets a running server hot-swap on promote, no restart.
+
+See ``docs/registry.md`` for the layout specification, the promotion
+gates, and the rollback runbook.
+"""
+
+from repro.registry.store import (
+    CURRENT_NAME,
+    VERSION_MANIFEST_NAME,
+    ModelRegistry,
+    RegistryError,
+    VersionInfo,
+    bundle_fingerprint,
+)
+from repro.registry.shadow import ShadowEvaluator
+from repro.registry.gates import (
+    DEFAULT_GATE_MIN_AGREEMENT,
+    DEFAULT_GATE_MIN_F1,
+    GateResult,
+    holdout_report,
+    load_eval_tables,
+    replay_agreement,
+    run_gate,
+)
+from repro.registry.watch import DEFAULT_WATCH_INTERVAL, RegistryWatcher
+
+__all__ = [
+    "CURRENT_NAME",
+    "VERSION_MANIFEST_NAME",
+    "ModelRegistry",
+    "RegistryError",
+    "VersionInfo",
+    "bundle_fingerprint",
+    "ShadowEvaluator",
+    "DEFAULT_GATE_MIN_AGREEMENT",
+    "DEFAULT_GATE_MIN_F1",
+    "DEFAULT_WATCH_INTERVAL",
+    "GateResult",
+    "holdout_report",
+    "load_eval_tables",
+    "replay_agreement",
+    "run_gate",
+    "RegistryWatcher",
+]

@@ -1,0 +1,160 @@
+"""Quantitative promotion gates: no model takes traffic on vibes.
+
+``repro-sato registry promote --gate`` refuses to flip the promotion
+pointer unless the candidate clears two thresholds:
+
+* **macro-F1 on a held-out eval set** — absolute quality, measured by
+  running the candidate over a labelled table set that was never part of
+  training (:func:`holdout_report`),
+* **agreement with the incumbent** — behavioural drift, measured by
+  replaying the same eval tables through both the candidate and the
+  currently promoted version and comparing per-column predictions
+  (:func:`replay_agreement`).  This is the offline twin of the live
+  :class:`~repro.registry.shadow.ShadowEvaluator`; live shadow stats from a
+  running server's ``/metrics`` can be supplied instead via the CLI.
+
+Both checks produce one :class:`GateResult` that is recorded in the
+registry's promotion pointer, so every promotion carries its evidence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.evaluation.metrics import ClassificationReport, classification_report
+from repro.tables import Table, tables_from_jsonl
+
+__all__ = [
+    "DEFAULT_GATE_MIN_AGREEMENT",
+    "DEFAULT_GATE_MIN_F1",
+    "GateResult",
+    "holdout_report",
+    "load_eval_tables",
+    "replay_agreement",
+    "run_gate",
+]
+
+#: Default promotion-gate thresholds, shared by the CLI and
+#: ``ExperimentConfig.gate_*`` so one edit retunes both.  The F1 floor is
+#: deliberately modest (the tiny synthetic corpora of tests/benchmarks top
+#: out well below paper-scale accuracy); production deployments should set
+#: their own via ``promote --min-f1/--min-agreement``.
+DEFAULT_GATE_MIN_F1 = 0.5
+DEFAULT_GATE_MIN_AGREEMENT = 0.85
+
+
+def load_eval_tables(path, labeled_only: bool = True) -> list[Table]:
+    """Load a held-out eval set (corpus JSONL), keeping labelled tables.
+
+    Tables without a single ground-truth column label cannot contribute to
+    F1 and are dropped when ``labeled_only`` is set.  The same loader backs
+    ``repro-sato evaluate --model`` and the promotion gate, so the two
+    paths can never disagree about what "the eval set" means.
+    """
+    tables = tables_from_jsonl(path)
+    if labeled_only:
+        tables = [
+            table
+            for table in tables
+            if any(column.semantic_type is not None for column in table.columns)
+        ]
+    if not tables:
+        raise ValueError(f"eval set {path} holds no labelled tables")
+    return tables
+
+
+def holdout_report(predictor, tables: list[Table]) -> ClassificationReport:
+    """Classification report of a predictor over labelled eval tables.
+
+    ``predictor`` needs only ``predict_tables``; batched prediction keeps
+    this fast enough to run inside a promotion.
+    """
+    predictions = predictor.predict_tables(tables)
+    y_true: list[str] = []
+    y_pred: list[str] = []
+    for table, labels in zip(tables, predictions):
+        for column, label in zip(table.columns, labels):
+            if column.semantic_type is not None:
+                y_true.append(column.semantic_type)
+                y_pred.append(label)
+    return classification_report(y_true, y_pred)
+
+
+def replay_agreement(candidate, incumbent, tables: list[Table]) -> float:
+    """Column-level agreement between two predictors on the same tables."""
+    candidate_labels = candidate.predict_tables(tables)
+    incumbent_labels = incumbent.predict_tables(tables)
+    compared = 0
+    agreed = 0
+    for ours, theirs in zip(candidate_labels, incumbent_labels):
+        for a, b in zip(ours, theirs):
+            compared += 1
+            agreed += a == b
+    return agreed / compared if compared else 1.0
+
+
+@dataclass
+class GateResult:
+    """Outcome of a gated promotion check (recorded with the promotion)."""
+
+    passed: bool
+    macro_f1: float
+    weighted_f1: float
+    agreement: float | None
+    min_macro_f1: float
+    min_agreement: float
+    n_eval_tables: int
+    reasons: list[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "passed": self.passed,
+            "macro_f1": self.macro_f1,
+            "weighted_f1": self.weighted_f1,
+            "agreement": self.agreement,
+            "min_macro_f1": self.min_macro_f1,
+            "min_agreement": self.min_agreement,
+            "n_eval_tables": self.n_eval_tables,
+            "reasons": list(self.reasons),
+        }
+
+
+def run_gate(
+    candidate,
+    eval_tables: list[Table],
+    min_macro_f1: float,
+    min_agreement: float,
+    incumbent=None,
+    shadow_agreement: float | None = None,
+) -> GateResult:
+    """Evaluate every promotion gate for a candidate predictor.
+
+    ``incumbent`` (the currently promoted version's predictor) enables the
+    replay-agreement gate; ``shadow_agreement`` — an agreement rate already
+    measured on live traffic — takes precedence over the replay when
+    given.  With neither, only the F1 gate applies (first promotion).
+    """
+    report = holdout_report(candidate, eval_tables)
+    agreement: float | None = shadow_agreement
+    if agreement is None and incumbent is not None:
+        agreement = replay_agreement(candidate, incumbent, eval_tables)
+
+    reasons: list[str] = []
+    if report.macro_f1 < min_macro_f1:
+        reasons.append(
+            f"macro-F1 {report.macro_f1:.3f} below gate {min_macro_f1:.3f}"
+        )
+    if agreement is not None and agreement < min_agreement:
+        reasons.append(
+            f"agreement {agreement:.3f} below gate {min_agreement:.3f}"
+        )
+    return GateResult(
+        passed=not reasons,
+        macro_f1=report.macro_f1,
+        weighted_f1=report.weighted_f1,
+        agreement=agreement,
+        min_macro_f1=min_macro_f1,
+        min_agreement=min_agreement,
+        n_eval_tables=len(eval_tables),
+        reasons=reasons,
+    )

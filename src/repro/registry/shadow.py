@@ -1,0 +1,209 @@
+"""Shadow/canary evaluation: mirror live traffic to a candidate model.
+
+Before a retrained model takes live traffic, it should be judged on the
+*actual* request distribution, not only on a held-out eval set.  The
+:class:`ShadowEvaluator` does that without touching the hot path: for a
+configurable fraction of served requests, the table plus the primary
+model's labels are handed to a single background thread, which runs the
+candidate model and accumulates agreement/disagreement statistics —
+overall column agreement rate plus a per-type divergence table showing
+*which* predictions the candidate changes.
+
+The hot path pays one pseudo-random draw and (for sampled requests) one
+executor submission; candidate inference happens entirely on the shadow
+thread against the candidate's own :class:`~repro.serving.Predictor`
+(separate caches, separate model).  When the shadow thread falls behind,
+excess samples are *dropped* (counted, never queued unboundedly) so a slow
+candidate can never build a backlog that outlives the traffic spike.
+
+The accumulated :meth:`snapshot` is surfaced by the serving server under
+the ``shadow`` key of ``GET /metrics`` and is the live counterpart of the
+offline agreement check in :mod:`repro.registry.gates`.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.tables import Table
+
+__all__ = ["ShadowEvaluator"]
+
+#: Bound on distinct (primary, candidate) divergence pairs kept; beyond it
+#: further novel pairs are folded into an overflow bucket.
+MAX_DIVERGENCE_PAIRS = 256
+
+
+class ShadowEvaluator:
+    """Mirror a fraction of live requests to a candidate model, off hot path.
+
+    Parameters
+    ----------
+    candidate:
+        Any object with ``predict_table(table) -> list[str]`` — normally a
+        :class:`~repro.serving.Predictor` over the candidate version.
+    fraction:
+        Probability that a served request is mirrored (0.0 disables
+        sampling but keeps the evaluator attachable).
+    version:
+        Candidate version tag, echoed in :meth:`snapshot`.
+    max_pending:
+        Bound on mirrored requests waiting for the shadow thread; beyond it
+        samples are dropped (and counted) instead of queued.
+    seed:
+        Seed of the sampling RNG (deterministic tests).
+
+    Examples:
+        >>> from repro.tables import Column, Table
+        >>> class Flip:
+        ...     def predict_table(self, table):
+        ...         return ["b"] * table.n_columns
+        >>> shadow = ShadowEvaluator(Flip(), fraction=1.0, version="v0002")
+        >>> table = Table(columns=[Column(values=["x"]), Column(values=["y"])])
+        >>> shadow.submit(table, ["a", "b"])
+        True
+        >>> shadow.close()          # waits for the shadow thread to finish
+        >>> snap = shadow.snapshot()
+        >>> (snap["mirrored"], snap["columns_compared"], snap["columns_agreed"])
+        (1, 2, 1)
+        >>> snap["divergence"]
+        {'a->b': 1}
+    """
+
+    def __init__(
+        self,
+        candidate,
+        fraction: float = 0.1,
+        version: str | None = None,
+        max_pending: int = 64,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be within [0, 1]")
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        self.candidate = candidate
+        self.fraction = fraction
+        self.version = version
+        self.max_pending = max_pending
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self._executor: ThreadPoolExecutor | None = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="shadow-eval"
+        )
+        self._pending = 0
+        # Accumulated statistics (all guarded by _lock).
+        self._sampled = 0
+        self._skipped = 0
+        self._dropped = 0
+        self._completed = 0
+        self._errors = 0
+        self._tables_compared = 0
+        self._columns_compared = 0
+        self._columns_agreed = 0
+        self._tables_identical = 0
+        self._divergence: dict[str, int] = {}
+
+    # ------------------------------------------------------------- hot path
+
+    def submit(self, table: Table, primary_labels: list[str]) -> bool:
+        """Maybe mirror one served request; never blocks on the candidate.
+
+        Returns True when the request was sampled and handed to the shadow
+        thread.  Thread-safe; called from the serving request handlers.
+        """
+        if self._rng.random() >= self.fraction:
+            with self._lock:
+                self._skipped += 1
+            return False
+        with self._lock:
+            if self._executor is None or self._pending >= self.max_pending:
+                self._dropped += 1
+                return False
+            self._pending += 1
+            self._sampled += 1
+            executor = self._executor
+        executor.submit(self._evaluate, table, list(primary_labels))
+        return True
+
+    # -------------------------------------------------------- shadow thread
+
+    def _evaluate(self, table: Table, primary_labels: list[str]) -> None:
+        try:
+            candidate_labels = self.candidate.predict_table(table)
+        except Exception:
+            with self._lock:
+                self._pending -= 1
+                self._errors += 1
+            return
+        agreed = sum(
+            1 for p, c in zip(primary_labels, candidate_labels) if p == c
+        )
+        compared = min(len(primary_labels), len(candidate_labels))
+        with self._lock:
+            self._pending -= 1
+            self._completed += 1
+            self._tables_compared += 1
+            self._columns_compared += compared
+            self._columns_agreed += agreed
+            if agreed == compared:
+                self._tables_identical += 1
+            for p, c in zip(primary_labels, candidate_labels):
+                if p == c:
+                    continue
+                key = f"{p}->{c}"
+                if key not in self._divergence and (
+                    len(self._divergence) >= MAX_DIVERGENCE_PAIRS
+                ):
+                    key = "...->..."
+                self._divergence[key] = self._divergence.get(key, 0) + 1
+
+    # ------------------------------------------------------------- reporting
+
+    @property
+    def agreement_rate(self) -> float:
+        """Fraction of compared columns where candidate == primary."""
+        with self._lock:
+            if self._columns_compared == 0:
+                return 1.0
+            return self._columns_agreed / self._columns_compared
+
+    def snapshot(self) -> dict:
+        """JSON-friendly statistics (the ``shadow`` key of ``/metrics``)."""
+        with self._lock:
+            compared = self._columns_compared
+            divergence = dict(
+                sorted(
+                    self._divergence.items(), key=lambda item: -item[1]
+                )
+            )
+            return {
+                "version": self.version,
+                "fraction": self.fraction,
+                "mirrored": self._sampled,
+                "skipped": self._skipped,
+                "dropped": self._dropped,
+                "pending": self._pending,
+                "completed": self._completed,
+                "errors": self._errors,
+                "tables_compared": self._tables_compared,
+                "tables_identical": self._tables_identical,
+                "columns_compared": compared,
+                "columns_agreed": self._columns_agreed,
+                "agreement_rate": (
+                    self._columns_agreed / compared if compared else 1.0
+                ),
+                "divergence": divergence,
+            }
+
+    def close(self) -> None:
+        """Stop sampling, finish in-flight shadow work, release the thread."""
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+        close = getattr(self.candidate, "close", None)
+        if close is not None:
+            close()

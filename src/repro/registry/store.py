@@ -1,0 +1,517 @@
+"""On-disk model registry: immutable versioned bundles with atomic promotion.
+
+The registry turns the PR-1 artifact bundle into a *managed lifecycle*:
+
+``<root>/<name>/<version>/``
+    One immutable published model.  The directory holds the ordinary bundle
+    (``manifest.json`` + ``tensors.npz``) plus ``version.json`` — the
+    lineage record (parent version, config hash, corpus fingerprint, train
+    metrics, bundle fingerprint, creation time).
+``<root>/<name>/CURRENT.json``
+    The promotion pointer: which version serves live traffic, when it was
+    promoted, the gate evidence that let it through, and the promotion
+    history that ``rollback`` walks backwards.
+
+Every state transition is a single atomic filesystem rename:
+
+* ``publish`` stages the full bundle into a hidden ``.staging-*`` directory
+  and ``os.rename``\\ s it to its final version name — a process killed
+  mid-publish leaves only staging garbage (cleaned by :meth:`gc`), never a
+  half-written version,
+* ``promote`` / ``rollback`` write a temporary pointer file and
+  ``os.replace`` it over ``CURRENT.json`` — readers always see either the
+  old pointer or the new one, never a torn write.
+
+Versions are immutable once published: nothing ever writes inside a
+version directory again, and :meth:`verify` recomputes the bundle
+fingerprint recorded at publish time to detect on-disk corruption before a
+version is promoted or loaded.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import shutil
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.serving.bundle import (
+    MANIFEST_NAME,
+    TENSORS_NAME,
+    load_model,
+    save_model,
+)
+
+__all__ = [
+    "CURRENT_NAME",
+    "VERSION_MANIFEST_NAME",
+    "ModelRegistry",
+    "RegistryError",
+    "VersionInfo",
+    "bundle_fingerprint",
+]
+
+#: The promotion pointer file inside every model directory.
+CURRENT_NAME = "CURRENT.json"
+
+#: The per-version lineage record inside every version directory.
+VERSION_MANIFEST_NAME = "version.json"
+
+_VERSION_RE = re.compile(r"^v(\d{4,})$")
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+_STAGING_PREFIX = ".staging-"
+_TRASH_PREFIX = ".trash-"
+
+
+class RegistryError(RuntimeError):
+    """Raised for any invalid registry operation or integrity failure."""
+
+
+def bundle_fingerprint(path: str | Path) -> str:
+    """Content hash of a bundle directory's files (manifest + tensors).
+
+    Hashes the raw bytes of ``manifest.json`` and ``tensors.npz`` with each
+    file name length-prefixed, so the fingerprint pins both contents and
+    layout.  This is the integrity check recorded at publish time and
+    re-verified before every promote/load.
+    """
+    path = Path(path)
+    digest = hashlib.blake2b(digest_size=16)
+    for name in (MANIFEST_NAME, TENSORS_NAME):
+        file_path = path / name
+        if not file_path.is_file():
+            raise RegistryError(f"bundle at {path} is missing {name}")
+        encoded = name.encode("utf-8")
+        digest.update(len(encoded).to_bytes(4, "little"))
+        digest.update(encoded)
+        digest.update(file_path.stat().st_size.to_bytes(8, "little"))
+        with file_path.open("rb") as handle:
+            for chunk in iter(lambda: handle.read(1 << 20), b""):
+                digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _config_hash(bundle_dir: Path) -> str:
+    """Hash of the model configuration recorded in the bundle manifest."""
+    try:
+        manifest = json.loads(
+            (bundle_dir / MANIFEST_NAME).read_text(encoding="utf-8")
+        )
+    except (OSError, json.JSONDecodeError) as error:
+        raise RegistryError(f"cannot read bundle manifest in {bundle_dir}: {error}")
+    encoded = json.dumps(manifest.get("model"), sort_keys=True).encode("utf-8")
+    return hashlib.blake2b(encoded, digest_size=8).hexdigest()
+
+
+@dataclass(frozen=True)
+class VersionInfo:
+    """Lineage record of one published version (the ``version.json`` file)."""
+
+    name: str
+    version: str
+    path: Path
+    fingerprint: str
+    created_at: float
+    parent: str | None = None
+    config_hash: str | None = None
+    corpus_fingerprint: str | None = None
+    train_metrics: dict = field(default_factory=dict)
+
+    @property
+    def number(self) -> int:
+        """Numeric part of the version tag (``v0003`` -> 3)."""
+        match = _VERSION_RE.match(self.version)
+        return int(match.group(1)) if match else -1
+
+    def to_manifest(self) -> dict:
+        """JSON payload written as ``version.json``."""
+        return {
+            "name": self.name,
+            "version": self.version,
+            "fingerprint": self.fingerprint,
+            "created_at": self.created_at,
+            "parent": self.parent,
+            "config_hash": self.config_hash,
+            "corpus_fingerprint": self.corpus_fingerprint,
+            "train_metrics": dict(self.train_metrics),
+        }
+
+
+def _atomic_write_json(path: Path, payload: dict) -> None:
+    """Write JSON so readers see the old file or the new one, never a tear."""
+    temporary = path.parent / f".{path.name}.{uuid.uuid4().hex}.tmp"
+    with temporary.open("w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temporary, path)
+
+
+class ModelRegistry:
+    """Versioned store of published model bundles with atomic promotion.
+
+    Parameters
+    ----------
+    root:
+        Registry root directory; created on first use.
+
+    Examples:
+        >>> import tempfile
+        >>> from repro.corpus import CorpusConfig, CorpusGenerator
+        >>> from repro.models import SatoConfig, SatoModel, TrainingConfig
+        >>> tables = CorpusGenerator(CorpusConfig(n_tables=5, seed=1)).generate()
+        >>> config = SatoConfig(use_topic=False, use_struct=False,
+        ...                     training=TrainingConfig(n_epochs=1,
+        ...                                             subnet_dim=4,
+        ...                                             hidden_dim=8))
+        >>> model = SatoModel(config=config).fit(tables)
+        >>> with tempfile.TemporaryDirectory() as root:
+        ...     registry = ModelRegistry(root)
+        ...     info = registry.publish(model, "demo")
+        ...     promoted = registry.promote("demo", info.version)
+        ...     (info.version, registry.current("demo").version)
+        ('v0001', 'v0001')
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -------------------------------------------------------------- layout
+
+    def model_dir(self, name: str) -> Path:
+        """Directory of one registered model name (validates the name)."""
+        if not _NAME_RE.match(name):
+            raise RegistryError(
+                f"invalid model name {name!r}: use letters, digits, '.', '_', '-'"
+            )
+        return self.root / name
+
+    def names(self) -> list[str]:
+        """Registered model names, sorted."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            entry.name
+            for entry in self.root.iterdir()
+            if entry.is_dir() and _NAME_RE.match(entry.name)
+        )
+
+    def version_dir(self, name: str, version: str) -> Path:
+        if not _VERSION_RE.match(version):
+            raise RegistryError(
+                f"invalid version tag {version!r} (expected e.g. 'v0001')"
+            )
+        return self.model_dir(name) / version
+
+    # ------------------------------------------------------------- reading
+
+    def _read_version(self, name: str, version_path: Path) -> VersionInfo:
+        manifest_path = version_path / VERSION_MANIFEST_NAME
+        try:
+            payload = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as error:
+            raise RegistryError(
+                f"unreadable {VERSION_MANIFEST_NAME} for {name}/{version_path.name}: {error}"
+            )
+        return VersionInfo(
+            name=name,
+            version=version_path.name,
+            path=version_path,
+            fingerprint=payload.get("fingerprint", ""),
+            created_at=float(payload.get("created_at", 0.0)),
+            parent=payload.get("parent"),
+            config_hash=payload.get("config_hash"),
+            corpus_fingerprint=payload.get("corpus_fingerprint"),
+            train_metrics=payload.get("train_metrics") or {},
+        )
+
+    def list_versions(self, name: str) -> list[VersionInfo]:
+        """Every published version of a model, oldest first."""
+        directory = self.model_dir(name)
+        if not directory.is_dir():
+            return []
+        versions = [
+            entry
+            for entry in directory.iterdir()
+            if entry.is_dir() and _VERSION_RE.match(entry.name)
+        ]
+        versions.sort(key=lambda entry: int(_VERSION_RE.match(entry.name).group(1)))
+        return [self._read_version(name, entry) for entry in versions]
+
+    def get(self, name: str, version: str) -> VersionInfo:
+        """One version's lineage record (raises if unknown)."""
+        path = self.version_dir(name, version)
+        if not path.is_dir():
+            raise RegistryError(f"unknown version {name}/{version}")
+        return self._read_version(name, path)
+
+    def _current_payload(self, name: str) -> dict | None:
+        pointer = self.model_dir(name) / CURRENT_NAME
+        if not pointer.is_file():
+            return None
+        try:
+            return json.loads(pointer.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as error:
+            raise RegistryError(f"corrupt {CURRENT_NAME} for {name}: {error}")
+
+    def current_version(self, name: str) -> str | None:
+        """The promoted version tag, or None before any promotion.
+
+        This is the cheap poll the registry-watch serving mode issues every
+        interval: one small JSON file read, no bundle I/O.
+        """
+        payload = self._current_payload(name)
+        return payload.get("version") if payload else None
+
+    def current(self, name: str) -> VersionInfo | None:
+        """Lineage record of the promoted version, or None."""
+        version = self.current_version(name)
+        return self.get(name, version) if version else None
+
+    # ------------------------------------------------------------ publish
+
+    def publish(
+        self,
+        model_or_bundle,
+        name: str,
+        train_metrics: dict | None = None,
+        corpus_fingerprint: str | None = None,
+        parent: str | None = None,
+    ) -> VersionInfo:
+        """Publish a fitted model (or an existing bundle directory).
+
+        The bundle is staged under a hidden directory and atomically renamed
+        into place, so a crash mid-publish never leaves a half-written
+        version.  Publishing does **not** change what serves traffic —
+        :meth:`promote` does.
+
+        Parameters
+        ----------
+        model_or_bundle:
+            A fitted :class:`~repro.models.sato.SatoModel`, or the path of a
+            bundle directory produced by ``repro-sato train`` /
+            :func:`~repro.serving.bundle.save_model`.
+        train_metrics:
+            Optional metrics measured at train time (recorded as lineage).
+        corpus_fingerprint:
+            Optional hash of the training corpus (recorded as lineage).
+        parent:
+            Lineage parent version; defaults to the currently promoted
+            version at publish time.
+        """
+        directory = self.model_dir(name)
+        directory.mkdir(parents=True, exist_ok=True)
+        if parent is None:
+            parent = self.current_version(name)
+        elif not self.version_dir(name, parent).is_dir():
+            raise RegistryError(f"parent version {name}/{parent} does not exist")
+
+        staging = directory / f"{_STAGING_PREFIX}{uuid.uuid4().hex}"
+        try:
+            if isinstance(model_or_bundle, (str, Path)):
+                source = Path(model_or_bundle)
+                staging.mkdir()
+                for file_name in (MANIFEST_NAME, TENSORS_NAME):
+                    if not (source / file_name).is_file():
+                        raise RegistryError(
+                            f"{source} is not a bundle directory (missing {file_name})"
+                        )
+                    shutil.copy2(source / file_name, staging / file_name)
+            else:
+                save_model(model_or_bundle, staging)
+
+            fingerprint = bundle_fingerprint(staging)
+            info_template = {
+                "fingerprint": fingerprint,
+                "created_at": time.time(),
+                "parent": parent,
+                "config_hash": _config_hash(staging),
+                "corpus_fingerprint": corpus_fingerprint,
+                "train_metrics": dict(train_metrics or {}),
+            }
+
+            # Allocate the next version number and atomically rename the
+            # staging directory into place.  A concurrent publisher that
+            # wins the same number makes our rename fail with EEXIST /
+            # ENOTEMPTY; we then re-number and retry.
+            for _ in range(100):
+                version = f"v{self._next_number(name):04d}"
+                info = VersionInfo(
+                    name=name,
+                    version=version,
+                    path=directory / version,
+                    **info_template,
+                )
+                _atomic_write_json(
+                    staging / VERSION_MANIFEST_NAME, info.to_manifest()
+                )
+                try:
+                    os.rename(staging, directory / version)
+                except OSError:
+                    if not (directory / version).exists():
+                        raise
+                    continue  # lost the race for this number; try the next
+                return info
+            raise RegistryError(
+                f"could not allocate a version number for {name} after 100 attempts"
+            )
+        finally:
+            if staging.is_dir():
+                shutil.rmtree(staging, ignore_errors=True)
+
+    def _next_number(self, name: str) -> int:
+        directory = self.model_dir(name)
+        numbers = [
+            int(match.group(1))
+            for entry in directory.iterdir()
+            if entry.is_dir() and (match := _VERSION_RE.match(entry.name))
+        ]
+        return max(numbers, default=0) + 1
+
+    # ------------------------------------------------------------ promote
+
+    def verify(self, name: str, version: str) -> VersionInfo:
+        """Integrity-check one version (fingerprint must match the record)."""
+        info = self.get(name, version)
+        actual = bundle_fingerprint(info.path)
+        if actual != info.fingerprint:
+            raise RegistryError(
+                f"integrity check failed for {name}/{version}: bundle hash "
+                f"{actual} != recorded {info.fingerprint}"
+            )
+        return info
+
+    def promote(
+        self, name: str, version: str, gate: dict | None = None
+    ) -> VersionInfo:
+        """Point live traffic at a version (after an integrity check).
+
+        The pointer update is one ``os.replace``: a process killed at any
+        instant leaves either the previous promotion or the new one, both
+        fully loadable.  ``gate`` (the evidence that justified the
+        promotion, e.g. a :class:`~repro.registry.gates.GateResult` as a
+        dict) is recorded in the pointer for auditability.
+        """
+        info = self.verify(name, version)
+        payload = self._current_payload(name) or {"history": []}
+        history = list(payload.get("history") or [])
+        if payload.get("version") and payload["version"] != version:
+            history.append(
+                {
+                    "version": payload["version"],
+                    "fingerprint": payload.get("fingerprint"),
+                    "promoted_at": payload.get("promoted_at"),
+                }
+            )
+        _atomic_write_json(
+            self.model_dir(name) / CURRENT_NAME,
+            {
+                "name": name,
+                "version": version,
+                "fingerprint": info.fingerprint,
+                "promoted_at": time.time(),
+                "gate": gate,
+                "history": history,
+            },
+        )
+        return info
+
+    def rollback(self, name: str) -> VersionInfo:
+        """Re-promote the previously promoted version (one step back).
+
+        Atomic in the same way as :meth:`promote`.  Raises when there is no
+        promotion history to walk back to, or when the previous version has
+        been deleted or corrupted since.
+        """
+        payload = self._current_payload(name)
+        if not payload or not payload.get("version"):
+            raise RegistryError(f"{name} has no promoted version to roll back")
+        history = list(payload.get("history") or [])
+        if not history:
+            raise RegistryError(
+                f"{name} has no promotion history to roll back to"
+            )
+        previous = history.pop()
+        info = self.verify(name, previous["version"])
+        _atomic_write_json(
+            self.model_dir(name) / CURRENT_NAME,
+            {
+                "name": name,
+                "version": info.version,
+                "fingerprint": info.fingerprint,
+                "promoted_at": time.time(),
+                "gate": {"rollback_from": payload["version"]},
+                "history": history,
+            },
+        )
+        return info
+
+    # -------------------------------------------------------------- loading
+
+    def load(self, name: str, version: str | None = None):
+        """Load a version's model (integrity-checked); default: the current.
+
+        Returns ``(model, info)``.
+        """
+        if version is None:
+            version = self.current_version(name)
+            if version is None:
+                raise RegistryError(f"{name} has no promoted version")
+        info = self.verify(name, version)
+        return load_model(info.path), info
+
+    # ------------------------------------------------------------------ gc
+
+    def gc(self, name: str, keep_unpromoted: int = 2) -> list[str]:
+        """Delete old unpromoted versions and stale staging directories.
+
+        The promoted version and everything in the promotion history (the
+        rollback chain) are never touched; of the remaining *unpromoted*
+        versions, the newest ``keep_unpromoted`` are kept.  Deletion renames
+        the doomed directory to a hidden trash name first, so a reader that
+        raced the GC sees either the intact version or nothing.
+
+        Returns the deleted version tags (staging garbage is cleaned
+        silently).
+        """
+        if keep_unpromoted < 0:
+            raise RegistryError("keep_unpromoted must be >= 0")
+        directory = self.model_dir(name)
+        if not directory.is_dir():
+            return []
+
+        for entry in directory.iterdir():
+            if entry.is_dir() and entry.name.startswith(
+                (_STAGING_PREFIX, _TRASH_PREFIX)
+            ):
+                shutil.rmtree(entry, ignore_errors=True)
+
+        payload = self._current_payload(name) or {}
+        protected = {payload.get("version")}
+        protected.update(
+            entry.get("version") for entry in payload.get("history") or []
+        )
+        unpromoted = [
+            info
+            for info in self.list_versions(name)
+            if info.version not in protected
+        ]
+        unpromoted.sort(key=lambda info: info.number)
+        doomed = unpromoted[: max(0, len(unpromoted) - keep_unpromoted)]
+        removed: list[str] = []
+        for info in doomed:
+            trash = directory / f"{_TRASH_PREFIX}{info.version}-{uuid.uuid4().hex}"
+            try:
+                os.rename(info.path, trash)
+            except OSError:
+                continue  # someone else removed (or is reading) it; skip
+            shutil.rmtree(trash, ignore_errors=True)
+            removed.append(info.version)
+        return removed

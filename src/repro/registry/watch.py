@@ -1,0 +1,80 @@
+"""Registry watching: notice promotions without restarting the server.
+
+A serving process in registry mode should pick up a new promotion on its
+own — the operator promotes, every watching server hot-swaps.  The watcher
+is deliberately dumb and robust: it polls the registry's promotion pointer
+(one small JSON read, no bundle I/O) and reports a change exactly once per
+new version.  The caller decides what a change means (the serving server
+loads the version and swaps it into its :class:`~repro.serving.Predictor`).
+
+Polling rather than inotify keeps the mechanism portable (NFS, bind
+mounts, macOS) and dependency-free; at the default interval the promotion
+propagation delay is bounded by a couple of seconds, far below any
+drain-and-restart deploy.
+"""
+
+from __future__ import annotations
+
+from repro.registry.store import ModelRegistry, RegistryError
+
+__all__ = ["DEFAULT_WATCH_INTERVAL", "RegistryWatcher"]
+
+#: Default seconds between promotion-pointer polls (CLI + ExperimentConfig).
+DEFAULT_WATCH_INTERVAL = 2.0
+
+
+class RegistryWatcher:
+    """Detect promotion-pointer changes for one registered model name.
+
+    Examples:
+        >>> import tempfile
+        >>> from repro.corpus import CorpusConfig, CorpusGenerator
+        >>> from repro.models import SatoConfig, SatoModel, TrainingConfig
+        >>> from repro.registry import ModelRegistry
+        >>> tables = CorpusGenerator(CorpusConfig(n_tables=5, seed=1)).generate()
+        >>> config = SatoConfig(use_topic=False, use_struct=False,
+        ...                     training=TrainingConfig(n_epochs=1,
+        ...                                             subnet_dim=4,
+        ...                                             hidden_dim=8))
+        >>> model = SatoModel(config=config).fit(tables)
+        >>> with tempfile.TemporaryDirectory() as root:
+        ...     registry = ModelRegistry(root)
+        ...     info = registry.publish(model, "demo")
+        ...     watcher = RegistryWatcher(registry, "demo")
+        ...     before = watcher.poll()          # nothing promoted yet
+        ...     _ = registry.promote("demo", info.version)
+        ...     first = watcher.poll()           # change seen exactly once
+        ...     second = watcher.poll()
+        >>> (before, first, second)
+        (None, 'v0001', None)
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        name: str,
+        seen_version: str | None = None,
+    ) -> None:
+        self.registry = registry
+        self.name = name
+        self.seen_version = seen_version
+        self.polls = 0
+        self.errors = 0
+
+    def poll(self) -> str | None:
+        """One poll: the newly promoted version tag, or None if unchanged.
+
+        Registry read errors (e.g. a registry directory briefly unreachable
+        on a network mount) are counted and swallowed — a watcher must
+        never take the serving process down.
+        """
+        self.polls += 1
+        try:
+            current = self.registry.current_version(self.name)
+        except (RegistryError, OSError):
+            self.errors += 1
+            return None
+        if current is None or current == self.seen_version:
+            return None
+        self.seen_version = current
+        return current

@@ -26,6 +26,7 @@ from repro.serving.bundle import (
     TENSORS_NAME,
     BundleFormatError,
     load_model,
+    model_fingerprint,
     save_model,
 )
 from repro.serving.predictor import LRUCache, Predictor, column_fingerprint
@@ -50,6 +51,7 @@ __all__ = [
     "BundleFormatError",
     "save_model",
     "load_model",
+    "model_fingerprint",
     "LRUCache",
     "Predictor",
     "column_fingerprint",

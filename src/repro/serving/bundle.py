@@ -19,6 +19,7 @@ so a reloaded model reproduces the in-memory model's predictions exactly.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 
@@ -36,6 +37,7 @@ __all__ = [
     "BundleFormatError",
     "save_model",
     "load_model",
+    "model_fingerprint",
 ]
 
 #: Version of the on-disk bundle layout.  Bump on incompatible changes.
@@ -100,6 +102,43 @@ def save_model(model: SatoModel, path: str | Path) -> Path:
         handle.write("\n")
     np.savez(path / TENSORS_NAME, **state)
     return path
+
+
+def model_fingerprint(model: SatoModel) -> str:
+    """Content hash of a fitted model (configuration + every tensor).
+
+    Two models fingerprint identically exactly when they are functionally
+    the same: same nested ``config_dict`` tree and bit-identical fitted
+    state.  The serving layer uses this to decide whether a hot swap
+    actually changed the model (and therefore whether feature/topic caches
+    must be invalidated), and the registry records it per version so an
+    on-disk bundle can be integrity-checked against its manifest.
+
+    Examples:
+        >>> from repro.corpus import CorpusConfig, CorpusGenerator
+        >>> from repro.models import SatoConfig, SatoModel, TrainingConfig
+        >>> tables = CorpusGenerator(CorpusConfig(n_tables=5, seed=1)).generate()
+        >>> config = SatoConfig(use_topic=False, use_struct=False,
+        ...                     training=TrainingConfig(n_epochs=1,
+        ...                                             subnet_dim=4,
+        ...                                             hidden_dim=8))
+        >>> model = SatoModel(config=config).fit(tables)
+        >>> fp = model_fingerprint(model)
+        >>> len(fp) == 32 and fp == model_fingerprint(model)
+        True
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(
+        json.dumps(model.config_dict(), sort_keys=True).encode("utf-8")
+    )
+    state = model.state_dict()
+    for key in sorted(state):
+        tensor = np.ascontiguousarray(state[key])
+        digest.update(key.encode("utf-8"))
+        digest.update(str(tensor.dtype).encode("ascii"))
+        digest.update(repr(tensor.shape).encode("ascii"))
+        digest.update(tensor.tobytes())
+    return digest.hexdigest()
 
 
 def _read_manifest(path: Path) -> dict:

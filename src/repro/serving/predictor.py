@@ -22,6 +22,7 @@ expensive per-table serving step — LDA inference — from repeat traffic.
 from __future__ import annotations
 
 import hashlib
+import threading
 import time
 import weakref
 from collections import OrderedDict
@@ -31,7 +32,7 @@ import numpy as np
 
 from repro.models import MODEL_BACKENDS, SatoModel, TopicAwareModel
 from repro.models.batched import split_by_table
-from repro.serving.bundle import load_model
+from repro.serving.bundle import load_model, model_fingerprint
 from repro.tables import Column, Table
 
 __all__ = ["column_fingerprint", "LRUCache", "Predictor"]
@@ -168,6 +169,8 @@ class Predictor:
         feature_backend: str | None = None,
         workers: int | None = None,
         model_backend: str = "batched",
+        model_name: str | None = None,
+        model_version: str | None = None,
     ) -> None:
         if model.column_model.network is None:
             raise RuntimeError("Predictor requires a fitted model")
@@ -179,6 +182,8 @@ class Predictor:
         self.model = model
         self.model_backend = model_backend
         self.column_model = model.column_model
+        self._feature_backend = feature_backend
+        self._workers = workers
         # A runtime clone shares all fitted state but owns its backend /
         # worker settings and engine, so two predictors over the same model
         # (or the model's own training featurizer) never fight over them.
@@ -188,6 +193,19 @@ class Predictor:
         self.cache = LRUCache(cache_size)
         self.topic_cache = LRUCache(cache_size)
         self._fingerprints: dict[int, tuple[weakref.ref, str]] = {}
+        # Hot-swap state: the lock serializes whole prediction batches
+        # against model swaps, so a batch is always served start-to-finish
+        # by one model (no mixed batches), and a swap simply waits for the
+        # in-flight batch to finish.  The model fingerprint (a hash over
+        # every fitted tensor) is computed lazily: registry-tagged
+        # predictors never need it unless a swap compares models, and
+        # one-shot CLI predictors never need it at all.
+        self._swap_lock = threading.RLock()
+        self._model_name = model_name
+        self._explicit_version = model_version
+        self._model_fingerprint: str | None = None
+        self._swap_count = 0
+        self.last_batch_version: str | None = model_version
         # Instrumentation hooks for online serving: every batched forward
         # pass bumps these, so a server's /metrics endpoint can report
         # model-side totals without wrapping the hot path.
@@ -204,6 +222,8 @@ class Predictor:
         feature_backend: str | None = None,
         workers: int | None = None,
         model_backend: str = "batched",
+        model_name: str | None = None,
+        model_version: str | None = None,
     ) -> "Predictor":
         """Build a predictor straight from a saved bundle directory."""
         return cls(
@@ -212,7 +232,118 @@ class Predictor:
             feature_backend=feature_backend,
             workers=workers,
             model_backend=model_backend,
+            model_name=model_name,
+            model_version=model_version,
         )
+
+    @classmethod
+    def from_registry(
+        cls,
+        registry,
+        name: str,
+        version: str | None = None,
+        cache_size: int = 4096,
+        feature_backend: str | None = None,
+        workers: int | None = None,
+        model_backend: str = "batched",
+    ) -> "Predictor":
+        """Build a predictor from a registry version (default: the promoted).
+
+        ``registry`` is a :class:`~repro.registry.ModelRegistry`; the
+        version is integrity-checked before loading.
+        """
+        model, info = registry.load(name, version)
+        return cls(
+            model,
+            cache_size=cache_size,
+            feature_backend=feature_backend,
+            workers=workers,
+            model_backend=model_backend,
+            model_name=info.name,
+            model_version=info.version,
+        )
+
+    # ------------------------------------------------------------- hot swap
+
+    @property
+    def model_name(self) -> str | None:
+        """Registered model name (None when serving a loose bundle)."""
+        return self._model_name
+
+    @property
+    def model_version(self) -> str:
+        """Version tag of the serving model (fingerprint prefix if untagged)."""
+        if self._explicit_version is not None:
+            return self._explicit_version
+        return self.fingerprint[:12]
+
+    @property
+    def fingerprint(self) -> str:
+        """Content fingerprint of the serving model (computed on demand)."""
+        if self._model_fingerprint is None:
+            self._model_fingerprint = model_fingerprint(self.model)
+        return self._model_fingerprint
+
+    @property
+    def swap_count(self) -> int:
+        """How many times :meth:`swap_model` has replaced the model."""
+        return self._swap_count
+
+    def swap_model(
+        self,
+        model: SatoModel,
+        model_name: str | None = None,
+        model_version: str | None = None,
+    ) -> dict:
+        """Atomically replace the serving model (zero-downtime hot swap).
+
+        The swap takes the same lock as batch prediction, so the in-flight
+        batch (if any) finishes on the old model and every later batch runs
+        on the new one — no request is ever served by a half-swapped
+        predictor and no batch mixes models.  The column-feature and
+        table-topic caches are invalidated **only when the model
+        fingerprint actually changes**: re-loading an identical bundle
+        keeps the warm caches (both featurization and topic inference are
+        pure functions of model state + column content, so an unchanged
+        fingerprint guarantees cached entries are still bit-exact).
+
+        Returns a summary dictionary: ``version``, ``fingerprint``,
+        ``changed`` (did the model content change), ``cache_cleared`` and
+        the cumulative ``swap_count``.
+        """
+        if model.column_model.network is None:
+            raise RuntimeError("swap_model requires a fitted model")
+        fingerprint = model_fingerprint(model)
+        with self._swap_lock:
+            changed = fingerprint != self.fingerprint
+            old_featurizer = self.featurizer
+            self.model = model
+            self.column_model = model.column_model
+            self.featurizer = model.column_model.featurizer.runtime_clone(
+                backend=self._feature_backend, workers=self._workers
+            )
+            if changed:
+                # Feature vectors and topic vectors are functions of model
+                # state; a different fingerprint invalidates both.  The
+                # column fingerprint memo keys on content only and stays.
+                self.cache.clear()
+                self.topic_cache.clear()
+            self._model_name = model_name if model_name is not None else self._model_name
+            self._explicit_version = model_version
+            self._model_fingerprint = fingerprint
+            self._swap_count += 1
+            version = self.model_version
+        # Outside the lock: the old featurizer is no longer reachable from
+        # the serving path; releasing its worker pool cannot block a batch.
+        if old_featurizer is not self.featurizer:
+            old_featurizer.close()
+        return {
+            "version": version,
+            "fingerprint": fingerprint,
+            "changed": changed,
+            "cache_cleared": changed,
+            "swap_count": self._swap_count,
+        }
 
     # ------------------------------------------------------------- plumbing
 
@@ -315,10 +446,12 @@ class Predictor:
     def predict_proba_tables(self, tables: Sequence[Table]) -> list[np.ndarray]:
         """Structured per-column type distributions for a batch of tables."""
         tables = list(tables)
-        return [
-            self.model.marginals_from_proba(proba)
-            for proba in self._columnwise_proba(tables)
-        ]
+        with self._swap_lock:
+            self.last_batch_version = self.model_version
+            return [
+                self.model.marginals_from_proba(proba)
+                for proba in self._columnwise_proba(tables)
+            ]
 
     def predict_tables(self, tables: Sequence[Table]) -> list[list[str]]:
         """Predicted semantic types for every column of every table.
@@ -327,12 +460,20 @@ class Predictor:
         runs once for the whole batch (one masked Viterbi recurrence over a
         padded unary tensor) instead of once per table; ``loop`` keeps the
         per-table decode as the parity oracle.
+
+        The whole batch — featurization, forward pass, structured decode —
+        runs under the swap lock, so a concurrent :meth:`swap_model` can
+        only take effect between batches, never inside one.
+        ``last_batch_version`` records which model version served the most
+        recent batch (read by the micro-batch scheduler to stamp responses).
         """
         tables = list(tables)
-        probabilities = self._columnwise_proba(tables)
-        if self.model_backend == "batched":
-            return self.model.labels_from_proba_batch(probabilities)
-        return [self.model.labels_from_proba(proba) for proba in probabilities]
+        with self._swap_lock:
+            self.last_batch_version = self.model_version
+            probabilities = self._columnwise_proba(tables)
+            if self.model_backend == "batched":
+                return self.model.labels_from_proba_batch(probabilities)
+            return [self.model.labels_from_proba(proba) for proba in probabilities]
 
     def predict_proba_table(self, table: Table) -> np.ndarray:
         """Structured per-column type distributions for one table."""
@@ -409,4 +550,8 @@ class Predictor:
             "columns": self._columns,
             "predict_seconds": self._predict_seconds,
             "model_backend": self.model_backend,
+            "model_name": self._model_name,
+            "model_version": self.model_version,
+            "model_fingerprint": self.fingerprint,
+            "swap_count": self._swap_count,
         }

@@ -361,6 +361,18 @@ class MicroBatcher:
         Raises :class:`DrainingError` during shutdown and
         :class:`QueueFullError` when the pending queue is at its bound.
         """
+        labels, _version = await self.submit_versioned(table)
+        return labels
+
+    async def submit_versioned(self, table: Table) -> tuple[list[str], str | None]:
+        """Submit one table; resolves to ``(labels, model_version)``.
+
+        ``model_version`` is the version tag of the model that actually
+        served this request's batch (``predictor.last_batch_version``, set
+        under the predictor's swap lock), or None for predictors without
+        versioning.  During a hot swap this is how a response can honestly
+        say which model produced it.
+        """
         self._admit(1)
         return await self._enqueue(table)
 
@@ -371,6 +383,13 @@ class MicroBatcher:
         enqueued (before this coroutine first yields to the event loop) or
         the call raises and none of them are.
         """
+        results = await self.submit_many_versioned(tables)
+        return [labels for labels, _version in results]
+
+    async def submit_many_versioned(
+        self, tables: Sequence[Table]
+    ) -> list[tuple[list[str], str | None]]:
+        """Like :meth:`submit_many`, resolving ``(labels, version)`` pairs."""
         tables = list(tables)
         self._admit(len(tables))
         futures = [self._enqueue(table) for table in tables]
@@ -426,6 +445,10 @@ class MicroBatcher:
                 self.metrics.record_error()
             return
         seconds = time.monotonic() - started
+        # Which model served this batch: predict_tables records it under the
+        # predictor's swap lock, and this dispatch thread is the predictor's
+        # only caller, so reading it here is race-free even mid-hot-swap.
+        version = getattr(self.predictor, "last_batch_version", None)
         self.metrics.record_batch(
             n_tables=len(tables),
             n_columns=sum(table.n_columns for table in tables),
@@ -434,5 +457,5 @@ class MicroBatcher:
         finished = time.monotonic()
         for pending, labels in zip(batch, results):
             if not pending.future.done():
-                pending.future.set_result(labels)
+                pending.future.set_result((labels, version))
             self.metrics.record_request(finished - pending.enqueued_at)

@@ -10,7 +10,24 @@ minimal HTTP/1.1 endpoint backed by the
   concurrent traffic),
 * ``GET /healthz`` — liveness + drain state,
 * ``GET /metrics`` — the :class:`~repro.serving.scheduler.ServingMetrics`
-  snapshot plus the predictor's cache and batch counters.
+  snapshot plus the predictor's cache and batch counters,
+* ``GET /v1/admin/status`` — serving model identity (name / version /
+  fingerprint), uptime and hot-swap count,
+* ``POST /v1/admin/reload`` — zero-downtime hot swap: load a model (from
+  the registry in registry mode, or by re-reading the bundle directory)
+  and swap it into the predictor while traffic keeps flowing,
+* ``POST /v1/admin/shadow`` — start/stop mirroring a fraction of live
+  traffic to a candidate registry version
+  (:class:`~repro.registry.ShadowEvaluator`).
+
+In **registry mode** the server is bound to a
+:class:`~repro.registry.ModelRegistry` name instead of a fixed bundle: it
+serves the promoted version, and (when a watch interval is set) polls the
+registry's promotion pointer, hot-swapping automatically when an operator
+promotes or rolls back.  Every response carries an ``X-Model-Version``
+header; predict responses carry the version that *actually served them*,
+captured under the predictor's swap lock, so during a swap clients can
+attribute each answer to the right model.
 
 Request/response schemas, curl examples and the error-code contract are
 documented in ``docs/http_api.md``; tuning guidance lives in
@@ -137,12 +154,17 @@ def _decode_json(body: bytes) -> dict:
     return payload
 
 
-def _table_result(table: Table, labels: Sequence[str]) -> dict:
-    return {
+def _table_result(
+    table: Table, labels: Sequence[str], version: str | None = None
+) -> dict:
+    result = {
         "table_id": table.table_id,
         "labels": list(labels),
         "n_columns": table.n_columns,
     }
+    if version is not None:
+        result["model_version"] = version
+    return result
 
 
 class ServingServer:
@@ -159,6 +181,20 @@ class ServingServer:
     max_batch_size / max_wait_ms / max_queue:
         Micro-batching policy, passed to
         :class:`~repro.serving.scheduler.MicroBatcher`.
+    registry / model_name:
+        Registry mode: a :class:`~repro.registry.ModelRegistry` plus the
+        registered name this server serves.  Enables ``POST
+        /v1/admin/reload`` by version, shadow evaluation, and (with
+        ``watch_interval``) automatic hot-swap on promote/rollback.
+    watch_interval:
+        Seconds between promotion-pointer polls in registry mode; None
+        disables watching (reloads remain available via the admin API).
+    bundle_path:
+        Bundle-mode reload source: ``POST /v1/admin/reload`` re-reads this
+        directory (for in-place bundle updates without a registry).
+    shadow:
+        Optional pre-attached :class:`~repro.registry.ShadowEvaluator`;
+        normally shadows are started through ``POST /v1/admin/shadow``.
     """
 
     def __init__(
@@ -169,7 +205,16 @@ class ServingServer:
         max_batch_size: int = DEFAULT_MAX_BATCH_SIZE,
         max_wait_ms: float = DEFAULT_MAX_WAIT_MS,
         max_queue: int = DEFAULT_MAX_QUEUE,
+        registry=None,
+        model_name: str | None = None,
+        watch_interval: float | None = None,
+        bundle_path: str | None = None,
+        shadow=None,
     ) -> None:
+        if registry is not None and model_name is None:
+            raise ValueError("registry mode requires model_name")
+        if watch_interval is not None and watch_interval <= 0:
+            raise ValueError("watch_interval must be positive")
         self.predictor = predictor
         self.host = host
         self._requested_port = port
@@ -181,8 +226,17 @@ class ServingServer:
             max_queue=max_queue,
             metrics=self.metrics,
         )
+        self.registry = registry
+        self.model_name = model_name
+        self.watch_interval = watch_interval
+        self.bundle_path = bundle_path
+        self.shadow = shadow
         self._server: asyncio.base_events.Server | None = None
         self._draining = False
+        self._reload_lock: asyncio.Lock | None = None
+        self._watch_task: asyncio.Task | None = None
+        self._watcher = None
+        self._swap_errors = 0
 
     # ------------------------------------------------------------- lifecycle
 
@@ -201,9 +255,14 @@ class ServingServer:
     async def start(self) -> "ServingServer":
         """Bind the listener and start the micro-batch dispatch loop."""
         await self.batcher.start()
+        self._reload_lock = asyncio.Lock()
         self._server = await asyncio.start_server(
             self._handle_connection, host=self.host, port=self._requested_port
         )
+        if self.registry is not None and self.watch_interval is not None:
+            self._watch_task = asyncio.get_running_loop().create_task(
+                self._watch_registry()
+            )
         return self
 
     async def serve_forever(self) -> None:
@@ -224,29 +283,113 @@ class ServingServer:
     async def stop(self) -> None:
         """Drain the queue, close the listener, release predictor resources."""
         await self.begin_drain()
+        if self._watch_task is not None:
+            self._watch_task.cancel()
+            try:
+                await self._watch_task
+            except asyncio.CancelledError:
+                pass
+            self._watch_task = None
         await self.batcher.drain()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self.shadow is not None:
+            shadow, self.shadow = self.shadow, None
+            await asyncio.get_running_loop().run_in_executor(None, shadow.close)
         close = getattr(self.predictor, "close", None)
         if close is not None:
             close()
+
+    # ------------------------------------------------------------- hot swap
+
+    async def _watch_registry(self) -> None:
+        """Poll the registry promotion pointer; hot-swap on change.
+
+        Runs as a background task in registry-watch mode, driving a
+        :class:`~repro.registry.RegistryWatcher`.  Before every poll the
+        watcher's baseline is re-synced to the *predictor's live version*,
+        so the server converges to the promoted version even when admin
+        reloads moved the predictor somewhere else in between.  Errors (a
+        swap that fails to load, a briefly unreadable registry) are
+        counted and survived — the watcher must never take serving down.
+        """
+        from repro.registry import RegistryWatcher
+
+        self._watcher = RegistryWatcher(self.registry, self.model_name)
+        loop = asyncio.get_running_loop()
+        while True:
+            await asyncio.sleep(self.watch_interval)
+            self._watcher.seen_version = getattr(
+                self.predictor, "model_version", None
+            )
+            promoted = await loop.run_in_executor(None, self._watcher.poll)
+            if promoted is None:
+                continue
+            try:
+                await self._swap_to_version(promoted)
+            except Exception:
+                self._swap_errors += 1
+
+    async def _swap_to_version(self, version: str | None) -> dict:
+        """Load a registry version and hot-swap it into the predictor.
+
+        Loading (disk + integrity check) and the swap run in the default
+        executor so the event loop keeps answering health checks; the
+        reload lock serializes concurrent admin reloads and watcher swaps.
+        """
+        loop = asyncio.get_running_loop()
+        async with self._reload_lock:
+            def load_and_swap() -> dict:
+                model, info = self.registry.load(self.model_name, version)
+                return self.predictor.swap_model(
+                    model, model_name=info.name, model_version=info.version
+                )
+
+            return await loop.run_in_executor(None, load_and_swap)
+
+    async def _reload_bundle(self) -> dict:
+        """Bundle-mode reload: re-read the bundle directory and swap."""
+        from repro.serving.bundle import load_model
+
+        loop = asyncio.get_running_loop()
+        async with self._reload_lock:
+            def load_and_swap() -> dict:
+                model = load_model(self.bundle_path)
+                return self.predictor.swap_model(model)
+
+            return await loop.run_in_executor(None, load_and_swap)
 
     # ----------------------------------------------------------------- wire
 
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        extra_headers: dict[str, str] = {}
         try:
-            status, payload = await self._handle_request(reader)
+            reply = await self._handle_request(reader)
+            if len(reply) == 3:
+                status, payload, extra_headers = reply
+            else:
+                status, payload = reply
         except Exception:  # defensive: a handler bug must not kill the server
             status, payload = 500, {"error": "internal server error"}
+        # Every response names the serving model version; predict handlers
+        # override this with the exact version that served their batch.
+        if "X-Model-Version" not in extra_headers:
+            version = getattr(self.predictor, "model_version", None)
+            if version is not None:
+                extra_headers["X-Model-Version"] = str(version)
         body = (json.dumps(payload) + "\n").encode("utf-8")
+        extra = "".join(
+            f"{name}: {value}\r\n" for name, value in extra_headers.items()
+        )
         headers = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
             "Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extra}"
             "Connection: close\r\n"
             "\r\n"
         ).encode("ascii")
@@ -262,7 +405,7 @@ class ServingServer:
             except (ConnectionError, BrokenPipeError):
                 pass
 
-    async def _handle_request(self, reader: asyncio.StreamReader) -> tuple[int, dict]:
+    async def _handle_request(self, reader: asyncio.StreamReader):
         # Reading the request is bounded in time, header count and body
         # size; every framing problem is answered with an explicit 4xx
         # (500 is reserved for the model failing).  Routing — which
@@ -314,7 +457,7 @@ class ServingServer:
 
     # -------------------------------------------------------------- routing
 
-    async def _route(self, method: str, path: str, body: bytes) -> tuple[int, dict]:
+    async def _route(self, method: str, path: str, body: bytes):
         if path == "/healthz":
             if method != "GET":
                 return 405, {"error": "use GET"}
@@ -331,6 +474,18 @@ class ServingServer:
             if method != "POST":
                 return 405, {"error": "use POST"}
             return await self._predict_batch(body)
+        if path == "/v1/admin/status":
+            if method != "GET":
+                return 405, {"error": "use GET"}
+            return 200, self._admin_status()
+        if path == "/v1/admin/reload":
+            if method != "POST":
+                return 405, {"error": "use POST"}
+            return await self._admin_reload(body)
+        if path == "/v1/admin/shadow":
+            if method != "POST":
+                return 405, {"error": "use POST"}
+            return await self._admin_shadow(body)
         return 404, {"error": f"unknown path {path}"}
 
     def _health(self) -> dict:
@@ -353,6 +508,8 @@ class ServingServer:
         predict_info = getattr(self.predictor, "predict_info", None)
         if predict_info is not None:
             snapshot["predictor"] = predict_info()
+        if self.shadow is not None:
+            snapshot["shadow"] = self.shadow.snapshot()
         snapshot["policy"] = {
             "max_batch_size": self.batcher.max_batch_size,
             "max_wait_ms": self.batcher.max_wait_ms,
@@ -360,7 +517,112 @@ class ServingServer:
         }
         return snapshot
 
-    async def _predict(self, body: bytes) -> tuple[int, dict]:
+    def _admin_status(self) -> dict:
+        snapshot = self.metrics.snapshot()
+        status = {
+            "model": {
+                "name": getattr(self.predictor, "model_name", None),
+                "version": getattr(self.predictor, "model_version", None),
+                "fingerprint": getattr(self.predictor, "fingerprint", None),
+            },
+            "uptime_seconds": snapshot["uptime_seconds"],
+            "swap_count": getattr(self.predictor, "swap_count", 0),
+            "draining": self._draining,
+            "registry": None,
+            "shadow": self.shadow.snapshot() if self.shadow is not None else None,
+        }
+        if self.registry is not None:
+            poll_errors = self._watcher.errors if self._watcher is not None else 0
+            status["registry"] = {
+                "root": str(self.registry.root),
+                "model_name": self.model_name,
+                "watch_interval": self.watch_interval,
+                "watching": self._watch_task is not None,
+                "watch_errors": poll_errors + self._swap_errors,
+            }
+        return status
+
+    async def _admin_reload(self, body: bytes) -> tuple[int, dict]:
+        if self._draining:
+            return 503, {"error": "server is draining"}
+        try:
+            payload = _decode_json(body) if body else {}
+        except MalformedRequest as error:
+            return 400, {"error": str(error)}
+        version = payload.get("version")
+        if version is not None and not isinstance(version, str):
+            return 400, {"error": "version must be a string"}
+        try:
+            if self.registry is not None:
+                result = await self._swap_to_version(version)
+            elif self.bundle_path is not None:
+                if version is not None:
+                    return 400, {
+                        "error": "version requires registry mode "
+                        "(serve --registry/--model-name)"
+                    }
+                result = await self._reload_bundle()
+            else:
+                return 400, {
+                    "error": "no reload source: server was started without "
+                    "a registry or a bundle path"
+                }
+        except Exception as error:
+            return 500, {"error": f"reload failed: {error}"}
+        return 200, {"reloaded": True, **result}
+
+    async def _admin_shadow(self, body: bytes) -> tuple[int, dict]:
+        try:
+            payload = _decode_json(body) if body else {}
+        except MalformedRequest as error:
+            return 400, {"error": str(error)}
+        if payload.get("stop"):
+            if self.shadow is not None:
+                shadow, self.shadow = self.shadow, None
+                loop = asyncio.get_running_loop()
+                await loop.run_in_executor(None, shadow.close)
+                return 200, {"shadow": None, "stopped": shadow.snapshot()}
+            return 200, {"shadow": None, "stopped": None}
+        if self.registry is None:
+            return 400, {"error": "shadow evaluation requires registry mode"}
+        version = payload.get("version")
+        if not isinstance(version, str):
+            return 400, {"error": 'body must be {"version": "vNNNN", ...} or {"stop": true}'}
+        fraction = payload.get("fraction", 0.1)
+        if not isinstance(fraction, (int, float)) or not 0.0 <= fraction <= 1.0:
+            return 400, {"error": "fraction must be a number in [0, 1]"}
+        from repro.registry import ShadowEvaluator
+        from repro.serving.predictor import Predictor
+
+        loop = asyncio.get_running_loop()
+        try:
+            candidate = await loop.run_in_executor(
+                None,
+                lambda: Predictor.from_registry(
+                    self.registry, self.model_name, version=version
+                ),
+            )
+        except Exception as error:
+            return 400, {"error": f"cannot load candidate {version}: {error}"}
+        new_shadow = ShadowEvaluator(
+            candidate, fraction=float(fraction), version=version
+        )
+        old_shadow, self.shadow = self.shadow, new_shadow
+        if old_shadow is not None:
+            await loop.run_in_executor(None, old_shadow.close)
+        return 200, {"shadow": new_shadow.snapshot()}
+
+    def _mirror_to_shadow(self, table: Table, labels: Sequence[str]) -> None:
+        """Hand one served request to the shadow evaluator (never raises)."""
+        shadow = self.shadow
+        if shadow is None:
+            return
+        try:
+            shadow.submit(table, list(labels))
+        except Exception:
+            pass  # a broken shadow must never affect the serving path
+
+    async def _predict(self, body: bytes):
         if self._draining:
             self.metrics.record_rejected_draining()
             return 503, {"error": "server is draining"}
@@ -370,16 +632,18 @@ class ServingServer:
             self.metrics.record_malformed()
             return 400, {"error": str(error)}
         try:
-            labels = await self.batcher.submit(table)
+            labels, version = await self.batcher.submit_versioned(table)
         except QueueFullError as error:
             return 429, {"error": str(error)}
         except DrainingError as error:
             return 503, {"error": str(error)}
         except Exception as error:
             return 500, {"error": f"prediction failed: {error}"}
-        return 200, _table_result(table, labels)
+        self._mirror_to_shadow(table, labels)
+        headers = {"X-Model-Version": str(version)} if version is not None else {}
+        return 200, _table_result(table, labels, version), headers
 
-    async def _predict_batch(self, body: bytes) -> tuple[int, dict]:
+    async def _predict_batch(self, body: bytes):
         if self._draining:
             self.metrics.record_rejected_draining()
             return 503, {"error": "server is draining"}
@@ -389,19 +653,26 @@ class ServingServer:
             self.metrics.record_malformed()
             return 400, {"error": str(error)}
         try:
-            results = await self.batcher.submit_many(tables)
+            results = await self.batcher.submit_many_versioned(tables)
         except QueueFullError as error:
             return 429, {"error": str(error)}
         except DrainingError as error:
             return 503, {"error": str(error)}
         except Exception as error:
             return 500, {"error": f"prediction failed: {error}"}
+        for table, (labels, _version) in zip(tables, results):
+            self._mirror_to_shadow(table, labels)
+        # Tables of one batch request can straddle a hot swap (they are
+        # admitted individually); the header reports the last version seen,
+        # each result object carries its own.
+        versions = [version for _labels, version in results if version is not None]
+        headers = {"X-Model-Version": str(versions[-1])} if versions else {}
         return 200, {
             "results": [
-                _table_result(table, labels)
-                for table, labels in zip(tables, results)
+                _table_result(table, labels, version)
+                for table, (labels, version) in zip(tables, results)
             ]
-        }
+        }, headers
 
 
 class ServerHandle:
@@ -456,6 +727,11 @@ def serve_in_thread(
     max_batch_size: int = DEFAULT_MAX_BATCH_SIZE,
     max_wait_ms: float = DEFAULT_MAX_WAIT_MS,
     max_queue: int = DEFAULT_MAX_QUEUE,
+    registry=None,
+    model_name: str | None = None,
+    watch_interval: float | None = None,
+    bundle_path: str | None = None,
+    shadow=None,
 ) -> ServerHandle:
     """Start a :class:`ServingServer` on a background thread's event loop.
 
@@ -487,6 +763,11 @@ def serve_in_thread(
         max_batch_size=max_batch_size,
         max_wait_ms=max_wait_ms,
         max_queue=max_queue,
+        registry=registry,
+        model_name=model_name,
+        watch_interval=watch_interval,
+        bundle_path=bundle_path,
+        shadow=shadow,
     )
     try:
         asyncio.run_coroutine_threadsafe(server.start(), loop).result(timeout=60)

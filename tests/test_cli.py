@@ -52,6 +52,53 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["serve"])
 
+    def test_serve_model_and_registry_are_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["serve", "--model", "bundle/", "--registry", "reg/"]
+            )
+
+    def test_serve_registry_mode_args(self):
+        args = build_parser().parse_args(
+            ["serve", "--registry", "reg/", "--model-name", "sato",
+             "--watch-interval", "0.5", "--shadow-version", "v0002",
+             "--shadow-fraction", "0.25"]
+        )
+        assert args.registry == "reg/" and args.model is None
+        assert args.model_name == "sato"
+        assert args.watch_interval == 0.5
+        assert args.shadow_version == "v0002"
+        assert args.shadow_fraction == 0.25
+
+    def test_registry_subcommands_parse(self):
+        publish = build_parser().parse_args(
+            ["registry", "publish", "--registry", "reg/", "--name", "sato",
+             "--model", "bundle/", "--metric", "macro_f1=0.9"]
+        )
+        assert publish.registry_command == "publish"
+        assert publish.metric == ["macro_f1=0.9"]
+        promote = build_parser().parse_args(
+            ["registry", "promote", "--registry", "reg/", "--name", "sato",
+             "--version", "v0002", "--gate", "--eval-set", "eval.jsonl"]
+        )
+        assert promote.gate and promote.eval_set == "eval.jsonl"
+        assert promote.min_f1 > 0 and promote.min_agreement > 0
+        for command in (["rollback"], ["list"], ["gc", "--keep", "3"]):
+            args = build_parser().parse_args(
+                ["registry", command[0], "--registry", "reg/",
+                 *([] if command[0] == "list" else ["--name", "sato"]),
+                 *command[1:]]
+            )
+            assert args.registry_command == command[0]
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["registry"])
+
+    def test_evaluate_accepts_model_bundle(self):
+        args = build_parser().parse_args(
+            ["evaluate", "--model", "bundle/", "--corpus", "eval.jsonl"]
+        )
+        assert args.model == "bundle/" and args.corpus == "eval.jsonl"
+
 
 class TestCommands:
     def test_generate_writes_corpus(self, tmp_path, capsys):
@@ -81,6 +128,59 @@ class TestCommands:
         assert exit_code == 0
         output = capsys.readouterr().out
         assert "macro F1" in output
+
+    def test_evaluate_model_bundle_without_retraining(self, tmp_path, capsys):
+        corpus = tmp_path / "corpus.jsonl"
+        main(["generate", "--n-tables", "40", "--seed", "6", "--out", str(corpus)])
+        bundle = tmp_path / "bundle"
+        main(["train", "--corpus", str(corpus), "--out", str(bundle),
+              "--variant", "Base", "--epochs", "2"])
+        capsys.readouterr()
+        exit_code = main(["evaluate", "--model", str(bundle), "--corpus", str(corpus)])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "macro F1" in output and "held-out" in output
+
+    def test_registry_lifecycle_commands(self, tmp_path, capsys):
+        corpus = tmp_path / "corpus.jsonl"
+        main(["generate", "--n-tables", "40", "--seed", "6", "--out", str(corpus)])
+        bundle = tmp_path / "bundle"
+        main(["train", "--corpus", str(corpus), "--out", str(bundle),
+              "--variant", "Base", "--epochs", "2"])
+        registry = str(tmp_path / "registry")
+        base = ["registry", "publish", "--registry", registry, "--name", "sato",
+                "--model", str(bundle)]
+        assert main(base + ["--metric", "macro_f1=0.4"]) == 0
+        capsys.readouterr()
+
+        # Ungated promote, then a gate that must refuse (impossible F1).
+        assert main(["registry", "promote", "--registry", registry,
+                     "--name", "sato", "--version", "v0001"]) == 0
+        assert main(base) == 0  # published after the promote: parent=v0001
+        refused = main(["registry", "promote", "--registry", registry,
+                        "--name", "sato", "--version", "v0002",
+                        "--gate", "--eval-set", str(corpus),
+                        "--min-f1", "1.01"])
+        assert refused == 1
+        # A passable gate: thresholds at zero always clear.
+        assert main(["registry", "promote", "--registry", registry,
+                     "--name", "sato", "--version", "v0002",
+                     "--gate", "--eval-set", str(corpus),
+                     "--min-f1", "0", "--min-agreement", "0"]) == 0
+        capsys.readouterr()
+
+        assert main(["registry", "list", "--registry", registry]) == 0
+        listing = capsys.readouterr().out
+        assert "* v0002" in listing and "parent=v0001" in listing
+
+        assert main(["registry", "rollback", "--registry", registry,
+                     "--name", "sato"]) == 0
+        assert main(["registry", "gc", "--registry", registry,
+                     "--name", "sato", "--keep", "0"]) == 0
+        capsys.readouterr()
+        assert main(["registry", "list", "--registry", registry]) == 0
+        listing = capsys.readouterr().out
+        assert "* v0001" in listing and "v0002" not in listing
 
     def test_predict_on_csv(self, tmp_path, capsys):
         corpus_path = tmp_path / "corpus.jsonl"

@@ -14,6 +14,10 @@ import pytest
 
 import repro.features.engine
 import repro.models.batched
+import repro.registry
+import repro.registry.shadow
+import repro.registry.store
+import repro.registry.watch
 import repro.serving
 import repro.serving.bundle
 import repro.serving.component
@@ -24,6 +28,10 @@ import repro.serving.server
 DOCUMENTED_MODULES = [
     repro.features.engine,
     repro.models.batched,
+    repro.registry,
+    repro.registry.shadow,
+    repro.registry.store,
+    repro.registry.watch,
     repro.serving,
     repro.serving.bundle,
     repro.serving.component,
@@ -34,7 +42,15 @@ DOCUMENTED_MODULES = [
 
 PUBLIC_EXAMPLE_PACKAGES = {
     repro.models.batched: ["pad_unaries", "split_by_table", "BatchedInferenceCore"],
-    repro.serving.bundle: ["save_model", "load_model", "BundleFormatError"],
+    repro.registry.store: ["ModelRegistry"],
+    repro.registry.shadow: ["ShadowEvaluator"],
+    repro.registry.watch: ["RegistryWatcher"],
+    repro.serving.bundle: [
+        "save_model",
+        "load_model",
+        "model_fingerprint",
+        "BundleFormatError",
+    ],
     repro.serving.component: ["StatefulComponent"],
     repro.serving.predictor: ["column_fingerprint", "LRUCache", "Predictor"],
     repro.serving.scheduler: ["MicroBatcher", "ServingMetrics"],

@@ -1,0 +1,323 @@
+"""Unit tests for the model registry subsystem.
+
+Covers the on-disk store (publish/promote/rollback/gc, lineage, integrity,
+crash-atomicity), the promotion gates, the shadow evaluator, and the
+registry watcher — everything below the HTTP layer.  End-to-end lifecycle
+over a live server lives in ``test_registry_server.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.registry import (
+    CURRENT_NAME,
+    ModelRegistry,
+    RegistryError,
+    RegistryWatcher,
+    ShadowEvaluator,
+    bundle_fingerprint,
+    load_eval_tables,
+    replay_agreement,
+    run_gate,
+)
+from repro.registry.store import VERSION_MANIFEST_NAME, _STAGING_PREFIX
+from repro.serving import Predictor, save_model
+from repro.tables import Column, Table, tables_to_jsonl
+
+
+@pytest.fixture(scope="module")
+def registry_pair(trained_base, trained_sato, tmp_path_factory):
+    """A registry with two published versions of the same name."""
+    root = tmp_path_factory.mktemp("registry")
+    registry = ModelRegistry(root)
+    v1 = registry.publish(trained_base, "sato", train_metrics={"macro_f1": 0.4})
+    registry.promote("sato", v1.version)
+    v2 = registry.publish(trained_sato, "sato")
+    return registry, v1, v2
+
+
+class TestPublish:
+    def test_versions_are_sequential_and_immutable_layout(self, registry_pair):
+        registry, v1, v2 = registry_pair
+        assert (v1.version, v2.version) == ("v0001", "v0002")
+        for info in (v1, v2):
+            names = sorted(p.name for p in info.path.iterdir())
+            assert names == ["manifest.json", "tensors.npz", VERSION_MANIFEST_NAME]
+
+    def test_lineage_recorded(self, registry_pair):
+        registry, v1, v2 = registry_pair
+        assert v1.parent is None
+        assert v2.parent == "v0001"  # v1 was promoted when v2 was published
+        assert v1.train_metrics == {"macro_f1": 0.4}
+        assert v1.config_hash and v2.config_hash
+        assert v1.fingerprint != v2.fingerprint
+
+    def test_publish_from_bundle_dir_matches_model_publish(
+        self, trained_base, tmp_path
+    ):
+        bundle = save_model(trained_base, tmp_path / "bundle")
+        registry = ModelRegistry(tmp_path / "reg")
+        info = registry.publish(bundle, "from-dir")
+        assert info.fingerprint == bundle_fingerprint(bundle)
+        model, loaded = registry.load("from-dir", info.version)
+        assert model.predict_table is not None
+        assert loaded.version == info.version
+
+    def test_invalid_names_and_versions_rejected(self, registry_pair):
+        registry, _, _ = registry_pair
+        with pytest.raises(RegistryError):
+            registry.model_dir("../escape")
+        with pytest.raises(RegistryError):
+            registry.model_dir(".hidden")
+        with pytest.raises(RegistryError):
+            registry.version_dir("sato", "1")
+
+    def test_unknown_parent_rejected(self, trained_base, tmp_path):
+        registry = ModelRegistry(tmp_path / "reg")
+        with pytest.raises(RegistryError, match="parent"):
+            registry.publish(trained_base, "sato", parent="v0099")
+
+
+class TestPromoteRollback:
+    def test_promote_updates_pointer_and_history(self, registry_pair):
+        registry, v1, v2 = registry_pair
+        registry.promote("sato", v2.version)
+        assert registry.current_version("sato") == "v0002"
+        payload = json.loads(
+            (registry.model_dir("sato") / CURRENT_NAME).read_text()
+        )
+        assert [h["version"] for h in payload["history"]] == ["v0001"]
+
+        rolled = registry.rollback("sato")
+        assert rolled.version == "v0001"
+        assert registry.current_version("sato") == "v0001"
+        # Rolling back again has no history left to walk.
+        with pytest.raises(RegistryError, match="history"):
+            registry.rollback("sato")
+        registry.promote("sato", v2.version)  # leave the fixture promoted at v2
+
+    def test_promote_unknown_version(self, registry_pair):
+        registry, _, _ = registry_pair
+        with pytest.raises(RegistryError, match="unknown version"):
+            registry.promote("sato", "v0099")
+
+    def test_promote_refuses_corrupt_bundle(self, trained_base, tmp_path):
+        registry = ModelRegistry(tmp_path / "reg")
+        info = registry.publish(trained_base, "sato")
+        tensors = info.path / "tensors.npz"
+        tensors.write_bytes(tensors.read_bytes() + b"tamper")
+        with pytest.raises(RegistryError, match="integrity"):
+            registry.promote("sato", info.version)
+
+    def test_killed_mid_promote_leaves_loadable_registry(
+        self, trained_base, tmp_path
+    ):
+        """A torn pointer write is impossible: only tmp files then os.replace.
+
+        Simulate the worst interleaving — a leftover temp pointer file from
+        a killed process — and check every read path still works.
+        """
+        registry = ModelRegistry(tmp_path / "reg")
+        info = registry.publish(trained_base, "sato")
+        registry.promote("sato", info.version)
+        # A killed process leaves a stale pointer temp file behind.
+        stale = registry.model_dir("sato") / f".{CURRENT_NAME}.dead.tmp"
+        stale.write_text("{ not even json")
+        assert registry.current_version("sato") == info.version
+        model, loaded = registry.load("sato")
+        assert loaded.version == info.version
+
+
+class TestCrashAtomicity:
+    def test_killed_mid_publish_leaves_only_staging_garbage(
+        self, trained_base, tmp_path, monkeypatch
+    ):
+        registry = ModelRegistry(tmp_path / "reg")
+
+        real_rename = os.rename
+
+        def exploding_rename(src, dst):
+            if _STAGING_PREFIX in str(src):
+                raise KeyboardInterrupt("kill -9 simulation")
+            return real_rename(src, dst)
+
+        monkeypatch.setattr(os, "rename", exploding_rename)
+        with pytest.raises(KeyboardInterrupt):
+            registry.publish(trained_base, "sato")
+        monkeypatch.undo()
+
+        # No version was created; the registry is loadable and a later
+        # publish gets v0001 as if nothing happened.
+        assert registry.list_versions("sato") == []
+        info = registry.publish(trained_base, "sato")
+        assert info.version == "v0001"
+        registry.gc("sato")  # clears any staging leftovers
+        leftovers = [
+            p.name
+            for p in registry.model_dir("sato").iterdir()
+            if p.name.startswith(_STAGING_PREFIX)
+        ]
+        assert leftovers == []
+
+    def test_gc_protects_current_and_history(self, trained_base, trained_sato, tmp_path):
+        registry = ModelRegistry(tmp_path / "reg")
+        v1 = registry.publish(trained_base, "sato")
+        registry.promote("sato", v1.version)
+        v2 = registry.publish(trained_sato, "sato")
+        registry.promote("sato", v2.version)
+        extra = [registry.publish(trained_base, "sato") for _ in range(3)]
+        removed = registry.gc("sato", keep_unpromoted=1)
+        survivors = {info.version for info in registry.list_versions("sato")}
+        # current (v2) and history (v1) always survive; newest unpromoted kept.
+        assert {"v0001", "v0002", extra[-1].version} <= survivors
+        assert set(removed) == {extra[0].version, extra[1].version}
+        registry.verify("sato", "v0001")
+        registry.verify("sato", "v0002")
+
+
+class TestGates:
+    def test_gate_passes_and_refuses_on_thresholds(
+        self, trained_base, serving_split, tmp_path
+    ):
+        _, test = serving_split
+        predictor = Predictor(trained_base)
+        passing = run_gate(
+            predictor, list(test), min_macro_f1=0.0, min_agreement=0.0
+        )
+        assert passing.passed and passing.agreement is None
+        failing = run_gate(
+            predictor, list(test), min_macro_f1=1.01, min_agreement=0.0
+        )
+        assert not failing.passed
+        assert any("macro-F1" in reason for reason in failing.reasons)
+
+    def test_agreement_gate_uses_incumbent_replay(
+        self, trained_base, serving_split
+    ):
+        _, test = serving_split
+        predictor = Predictor(trained_base)
+        # Same model as incumbent -> perfect agreement.
+        result = run_gate(
+            predictor,
+            list(test),
+            min_macro_f1=0.0,
+            min_agreement=1.0,
+            incumbent=Predictor(trained_base),
+        )
+        assert result.agreement == 1.0 and result.passed
+
+    def test_shadow_agreement_overrides_replay(self, trained_base, serving_split):
+        _, test = serving_split
+        predictor = Predictor(trained_base)
+        result = run_gate(
+            predictor,
+            list(test),
+            min_macro_f1=0.0,
+            min_agreement=0.9,
+            incumbent=Predictor(trained_base),
+            shadow_agreement=0.2,
+        )
+        assert result.agreement == 0.2 and not result.passed
+
+    def test_replay_agreement_self_is_one(self, trained_base, serving_split):
+        _, test = serving_split
+        predictor = Predictor(trained_base)
+        assert replay_agreement(predictor, predictor, list(test)) == 1.0
+
+    def test_load_eval_tables_filters_unlabeled(self, tmp_path):
+        labeled = Table(columns=[Column(values=["a"], semantic_type="name")])
+        unlabeled = Table(columns=[Column(values=["b"])])
+        path = tmp_path / "eval.jsonl"
+        tables_to_jsonl([labeled, unlabeled], path)
+        tables = load_eval_tables(path)
+        assert len(tables) == 1
+        with pytest.raises(ValueError, match="no labelled"):
+            tables_to_jsonl([unlabeled], path)
+            load_eval_tables(path)
+
+
+class FixedPredictor:
+    """Candidate stub answering a constant label for every column."""
+
+    def __init__(self, label: str):
+        self.label = label
+
+    def predict_table(self, table):
+        return [self.label] * table.n_columns
+
+
+class TestShadowEvaluator:
+    def _table(self):
+        return Table(columns=[Column(values=["x"]), Column(values=["y"])])
+
+    def test_full_mirroring_counts_agreement_and_divergence(self):
+        shadow = ShadowEvaluator(FixedPredictor("b"), fraction=1.0, version="v2")
+        assert shadow.submit(self._table(), ["b", "a"])
+        shadow.close()
+        snap = shadow.snapshot()
+        assert snap["mirrored"] == 1 and snap["completed"] == 1
+        assert snap["columns_compared"] == 2 and snap["columns_agreed"] == 1
+        assert snap["agreement_rate"] == 0.5
+        assert snap["divergence"] == {"a->b": 1}
+
+    def test_zero_fraction_never_samples(self):
+        shadow = ShadowEvaluator(FixedPredictor("b"), fraction=0.0)
+        for _ in range(20):
+            assert not shadow.submit(self._table(), ["b", "b"])
+        shadow.close()
+        snap = shadow.snapshot()
+        assert snap["mirrored"] == 0 and snap["skipped"] == 20
+
+    def test_candidate_errors_are_contained(self):
+        class Exploding:
+            def predict_table(self, table):
+                raise RuntimeError("boom")
+
+        shadow = ShadowEvaluator(Exploding(), fraction=1.0)
+        shadow.submit(self._table(), ["a", "a"])
+        shadow.close()
+        snap = shadow.snapshot()
+        assert snap["errors"] == 1 and snap["completed"] == 0
+
+    def test_backlog_is_dropped_not_queued(self):
+        class Slow:
+            def predict_table(self, table):
+                time.sleep(0.05)
+                return ["a"] * table.n_columns
+
+        shadow = ShadowEvaluator(Slow(), fraction=1.0, max_pending=1)
+        submitted = sum(
+            shadow.submit(self._table(), ["a", "a"]) for _ in range(10)
+        )
+        shadow.close()
+        snap = shadow.snapshot()
+        assert submitted < 10 and snap["dropped"] >= 1
+        assert snap["pending"] == 0
+
+    def test_submit_after_close_is_a_drop(self):
+        shadow = ShadowEvaluator(FixedPredictor("a"), fraction=1.0)
+        shadow.close()
+        assert not shadow.submit(self._table(), ["a", "a"])
+        assert shadow.snapshot()["dropped"] == 1
+
+
+class TestRegistryWatcher:
+    def test_reports_each_promotion_once(self, registry_pair):
+        registry, v1, v2 = registry_pair
+        watcher = RegistryWatcher(registry, "sato")
+        first = watcher.poll()
+        assert first == registry.current_version("sato")
+        assert watcher.poll() is None  # unchanged -> silent
+
+    def test_swallows_registry_errors(self, tmp_path):
+        registry = ModelRegistry(tmp_path / "reg")
+        (registry.model_dir("sato")).mkdir()
+        (registry.model_dir("sato") / CURRENT_NAME).write_text("{broken")
+        watcher = RegistryWatcher(registry, "sato")
+        assert watcher.poll() is None
+        assert watcher.errors == 1

@@ -200,10 +200,12 @@ class TestPredictor:
     def test_predict_info_tracks_batches_and_columns(self, trained_base, serving_split):
         _, test = serving_split
         predictor = Predictor(trained_base)
-        assert predictor.predict_info() == {
-            "batches": 0, "tables": 0, "columns": 0, "predict_seconds": 0.0,
-            "model_backend": "batched",
-        }
+        fresh = predictor.predict_info()
+        assert fresh["batches"] == 0 and fresh["tables"] == 0
+        assert fresh["columns"] == 0 and fresh["predict_seconds"] == 0.0
+        assert fresh["model_backend"] == "batched"
+        assert fresh["swap_count"] == 0
+        assert fresh["model_version"] == fresh["model_fingerprint"][:12]
         predictor.predict_tables(test)
         predictor.predict_table(test[0])
         info = predictor.predict_info()
