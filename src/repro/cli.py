@@ -194,6 +194,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=4096,
         help="capacity of the column-feature LRU cache",
     )
+    serve.add_argument(
+        "--fleet-workers",
+        type=int,
+        default=0,
+        help="serve through N prefork worker processes sharing one "
+        "in-memory copy of the model weights (0 = single process)",
+    )
+    serve.add_argument(
+        "--worker-queue",
+        type=int,
+        help="fleet mode: per-worker in-flight bound before a request "
+        "spills to the next worker on the routing ring "
+        "(default: max-queue / fleet-workers)",
+    )
     _add_backend_arguments(serve)
     _add_model_backend_argument(serve)
 
@@ -441,6 +455,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.serving.server import ServingServer
 
+    from repro.registry import RegistryError
+    from repro.serving.fleet import FleetError, ServingFleet
+
+    if args.fleet_workers < 0:
+        print("--fleet-workers must be >= 0", file=sys.stderr)
+        return 2
+    fleet_mode = args.fleet_workers > 0
+
     registry = None
     shadow = None
     if args.registry is not None:
@@ -453,19 +475,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print("--shadow-fraction must be within [0, 1]", file=sys.stderr)
             return 2
         registry = ModelRegistry(args.registry)
-        try:
-            predictor = Predictor.from_registry(
-                registry,
-                args.model_name,
-                version=args.model_version,
-                cache_size=args.cache_size,
-                feature_backend=args.feature_backend,
-                workers=args.workers,
-                model_backend=args.model_backend,
-            )
-        except (RegistryError, BundleFormatError) as error:
-            print(f"cannot load from registry: {error}", file=sys.stderr)
-            return 2
+        if fleet_mode:
+            predictor = None
+        else:
+            try:
+                predictor = Predictor.from_registry(
+                    registry,
+                    args.model_name,
+                    version=args.model_version,
+                    cache_size=args.cache_size,
+                    feature_backend=args.feature_backend,
+                    workers=args.workers,
+                    model_backend=args.model_backend,
+                )
+            except (RegistryError, BundleFormatError) as error:
+                print(f"cannot load from registry: {error}", file=sys.stderr)
+                return 2
         if args.shadow_version is not None:
             try:
                 candidate = Predictor.from_registry(
@@ -487,17 +512,40 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
-        try:
-            predictor = Predictor.from_bundle(
-                args.model,
-                cache_size=args.cache_size,
-                feature_backend=args.feature_backend,
-                workers=args.workers,
-                model_backend=args.model_backend,
-            )
-        except BundleFormatError as error:
-            print(f"cannot load model bundle: {error}", file=sys.stderr)
-            return 2
+        if fleet_mode:
+            predictor = None
+        else:
+            try:
+                predictor = Predictor.from_bundle(
+                    args.model,
+                    cache_size=args.cache_size,
+                    feature_backend=args.feature_backend,
+                    workers=args.workers,
+                    model_backend=args.model_backend,
+                )
+            except BundleFormatError as error:
+                print(f"cannot load model bundle: {error}", file=sys.stderr)
+                return 2
+
+    if fleet_mode:
+        # The fleet is both halves of the serving stack: the predictor
+        # facade (model identity, promote/reload) and the batcher (request
+        # routing across its worker processes).  Model loading happens
+        # inside start(), once per worker, over one shared tensor store.
+        predictor = ServingFleet(
+            args.fleet_workers,
+            bundle_path=args.model,
+            registry=registry,
+            model_name=args.model_name if registry is not None else None,
+            model_version=args.model_version,
+            cache_size=args.cache_size,
+            feature_backend=args.feature_backend,
+            model_backend=args.model_backend,
+            max_batch_size=args.max_batch_size,
+            max_wait_ms=args.max_wait_ms,
+            max_queue=args.max_queue,
+            worker_queue=args.worker_queue,
+        )
 
     async def _serve() -> None:
         server = ServingServer(
@@ -520,6 +568,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             ),
             bundle_path=args.model,
             shadow=shadow,
+            batcher=predictor if fleet_mode else None,
         )
         await server.start()
         # Handle shutdown signals inside the loop: the drain then runs to
@@ -538,10 +587,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             if registry is not None
             else args.model
         )
+        fleet_note = (
+            f", fleet_workers={args.fleet_workers}" if fleet_mode else ""
+        )
         print(
             f"serving {source} on http://{args.host}:{server.port} "
             f"(max_batch_size={args.max_batch_size}, "
-            f"max_wait_ms={args.max_wait_ms}, max_queue={args.max_queue})"
+            f"max_wait_ms={args.max_wait_ms}, max_queue={args.max_queue}"
+            f"{fleet_note})"
         )
         try:
             await shutdown.wait()
@@ -553,6 +606,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         asyncio.run(_serve())
     except KeyboardInterrupt:
         pass  # signal handler unavailable on this platform; exit plainly
+    except (FleetError, RegistryError, BundleFormatError) as error:
+        print(f"cannot start serving: {error}", file=sys.stderr)
+        return 2
     return 0
 
 

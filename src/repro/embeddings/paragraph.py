@@ -95,7 +95,9 @@ class ParagraphEmbedder:
         values = np.asarray(state["idf_values"], dtype=np.float64)
         self._idf = {token: float(value) for token, value in zip(tokens, values)}
         if "projection" in state:
-            self._projection = np.asarray(state["projection"], dtype=np.float64).copy()
+            # Zero-copy: shared-memory serving hands in read-only views and
+            # embedding only ever multiplies by the projection.
+            self._projection = np.asarray(state["projection"], dtype=np.float64)
         else:
             self._projection = None
         self._fitted = True

@@ -165,7 +165,11 @@ class WordEmbeddingModel:
         self.vocabulary = Vocabulary.from_tokens(
             state["tokens"].tolist(), min_count=self.min_count, max_size=self.max_vocab
         )
-        self.vectors = np.asarray(state["vectors"], dtype=np.float64).copy()
+        # Zero-copy on purpose: serving loads this state as read-only views
+        # into a shared-memory store (one physical copy for a whole worker
+        # fleet), and inference never writes the vectors.  Refitting simply
+        # rebinds the attribute to fresh arrays.
+        self.vectors = np.asarray(state["vectors"], dtype=np.float64)
 
     def vector(self, token: str) -> np.ndarray:
         """Return the vector of a token (zeros when out of vocabulary)."""

@@ -50,6 +50,8 @@ class ExperimentConfig:
     serve_max_batch_size: int = DEFAULT_MAX_BATCH_SIZE
     serve_max_wait_ms: float = DEFAULT_MAX_WAIT_MS
     serve_max_queue: int = DEFAULT_MAX_QUEUE
+    # Prefork worker fleet over a shared-memory bundle (0 = single process)
+    serve_fleet_workers: int = 0
 
     # Model lifecycle (registry hot-swap + shadow/canary; see docs/registry.md)
     registry_watch_interval: float = DEFAULT_WATCH_INTERVAL

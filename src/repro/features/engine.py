@@ -635,7 +635,6 @@ class VectorizedEngine:
     def __init__(self, featurizer: "ColumnFeaturizer") -> None:
         self.featurizer = featurizer
         self._token_memo: dict[str, tuple[int, float]] = {}
-        self._vectors_ext: np.ndarray | None = None
         self._pool: ProcessPoolExecutor | None = None
         self._pool_workers = 0
 
@@ -682,21 +681,6 @@ class VectorizedEngine:
             self._token_memo[token] = info
         return info
 
-    def _embedding_vectors(self) -> np.ndarray:
-        """Word vectors with one extra zero row for out-of-vocabulary ids."""
-        if self._vectors_ext is None:
-            vectors = self.featurizer.word_model.vectors
-            if vectors is None:
-                raise RuntimeError("word embedding model is not fitted")
-            if vectors.size:
-                zero_row = np.zeros((1, vectors.shape[1]), dtype=np.float64)
-                self._vectors_ext = np.vstack([vectors, zero_row])
-            else:
-                self._vectors_ext = np.zeros(
-                    (1, self.featurizer.word_model.dim), dtype=np.float64
-                )
-        return self._vectors_ext
-
     def _embedding_block(
         self, value_lists: Sequence[Sequence[str]], project: bool = True
     ) -> tuple[np.ndarray, np.ndarray]:
@@ -704,8 +688,12 @@ class VectorizedEngine:
         n_cols = len(value_lists)
         word_dim = featurizer.word_model.dim
         max_tokens = featurizer.max_tokens_per_column
-        vectors_ext = self._embedding_vectors()
-        oov_row = vectors_ext.shape[0] - 1
+        # Gather straight from the embedding matrix: it may be a read-only
+        # shared-memory view (one physical copy across a serving fleet), so
+        # the engine must not materialise a private extended copy of it.
+        vectors = featurizer.word_model.vectors
+        if vectors is None:
+            raise RuntimeError("word embedding model is not fitted")
 
         ids: list[int] = []
         weights: list[float] = []
@@ -735,7 +723,12 @@ class VectorizedEngine:
             id_array = np.array(ids, dtype=np.int64)
             weight_array = np.array(weights, dtype=np.float64)
             col_of_token = np.repeat(np.arange(n_cols), token_counts)
-            gathered = vectors_ext[np.where(id_array >= 0, id_array, oov_row)]
+            # Out-of-vocabulary tokens (id -1) keep their zero rows, exactly
+            # like the former explicit OOV row of an extended matrix.
+            in_vocab = id_array >= 0
+            gathered = np.zeros((n_tokens, word_dim), dtype=np.float64)
+            if vectors.size:
+                gathered[in_vocab] = vectors[id_array[in_vocab]]
 
             # Segment sums via reduceat over the token-bearing columns only:
             # dropping empty segments keeps every offset strictly increasing
@@ -747,7 +740,7 @@ class VectorizedEngine:
             # Word group: mean of in-vocabulary vectors (OOV rows are the
             # zero row, so summing all tokens equals summing valid ones).
             n_valid = np.bincount(
-                col_of_token[id_array >= 0], minlength=n_cols
+                col_of_token[in_vocab], minlength=n_cols
             ).astype(np.float64)
             word_sums = np.zeros((n_cols, gathered.shape[1]), dtype=np.float64)
             word_sums[has_tokens] = np.add.reduceat(gathered, token_offsets, axis=0)

@@ -360,8 +360,10 @@ class ColumnFeaturizer:
             {k[len("para."):]: v for k, v in state.items() if k.startswith("para.")}
         )
         if "mean" in state and "std" in state:
-            self._mean = np.asarray(state["mean"], dtype=np.float64).copy()
-            self._std = np.asarray(state["std"], dtype=np.float64).copy()
+            # Zero-copy: standardisation only reads these (shared-memory
+            # serving hands in non-writeable views).
+            self._mean = np.asarray(state["mean"], dtype=np.float64)
+            self._std = np.asarray(state["std"], dtype=np.float64)
         else:
             self._mean = None
             self._std = None

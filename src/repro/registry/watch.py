@@ -61,6 +61,16 @@ class RegistryWatcher:
         self.polls = 0
         self.errors = 0
 
+    def resync(self, version: str | None) -> None:
+        """Re-baseline change detection to the caller's live version.
+
+        A serving process calls this before every poll with the version
+        it *actually* serves, so the watcher reports a change relative to
+        live state — even when admin reloads (or a fleet-wide two-phase
+        swap) moved the server somewhere else between polls.
+        """
+        self.seen_version = version
+
     def poll(self) -> str | None:
         """One poll: the newly promoted version tag, or None if unchanged.
 

@@ -16,7 +16,12 @@ three pieces that make the split possible:
 * :class:`~repro.serving.scheduler.MicroBatcher` — the online micro-batching
   request scheduler (admission control, graceful drain, latency accounting),
 * :class:`~repro.serving.server.ServingServer` — the stdlib HTTP front end
-  (``/v1/predict``, ``/v1/predict_batch``, ``/healthz``, ``/metrics``).
+  (``/v1/predict``, ``/v1/predict_batch``, ``/healthz``, ``/metrics``),
+* :class:`~repro.serving.fleet.ServingFleet` — the prefork multi-worker
+  serving pool: one shared-memory copy of the weights
+  (:mod:`repro.serving.shm`), fingerprint-affinity routing
+  (:class:`~repro.serving.fleet.HashRing`), fleet-wide two-phase model
+  promotion and crash-restart supervision.
 """
 
 from repro.serving.component import StatefulComponent
@@ -26,8 +31,24 @@ from repro.serving.bundle import (
     TENSORS_NAME,
     BundleFormatError,
     load_model,
+    load_model_from_state,
     model_fingerprint,
+    read_state,
     save_model,
+)
+from repro.serving.fleet import (
+    FleetError,
+    HashRing,
+    ServingFleet,
+    WorkerSpec,
+    table_routing_key,
+)
+from repro.serving.shm import (
+    SharedTensorStore,
+    ShmFormatError,
+    load_model_shared,
+    pack_bundle,
+    remove_store,
 )
 from repro.serving.predictor import LRUCache, Predictor, column_fingerprint
 from repro.serving.scheduler import (
@@ -51,7 +72,19 @@ __all__ = [
     "BundleFormatError",
     "save_model",
     "load_model",
+    "load_model_from_state",
+    "read_state",
     "model_fingerprint",
+    "SharedTensorStore",
+    "ShmFormatError",
+    "load_model_shared",
+    "pack_bundle",
+    "remove_store",
+    "FleetError",
+    "HashRing",
+    "ServingFleet",
+    "WorkerSpec",
+    "table_routing_key",
     "LRUCache",
     "Predictor",
     "column_fingerprint",

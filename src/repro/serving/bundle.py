@@ -36,6 +36,8 @@ __all__ = [
     "TENSORS_NAME",
     "BundleFormatError",
     "save_model",
+    "read_state",
+    "load_model_from_state",
     "load_model",
     "model_fingerprint",
 ]
@@ -191,6 +193,63 @@ def _build_column_model(column_config: dict) -> SherlockModel:
     raise BundleFormatError(f"unsupported column model type {model_type!r}")
 
 
+def read_state(path: str | Path) -> dict[str, np.ndarray]:
+    """Read a bundle's tensor state from its ``.npz`` archive.
+
+    Returns the raw ``{dotted key: array}`` state dict without building a
+    model — the input both to :func:`load_model_from_state` and to the
+    shared-memory packer (:func:`repro.serving.shm.pack_bundle`).
+    """
+    path = Path(path)
+    tensors_path = path / TENSORS_NAME
+    if not tensors_path.is_file():
+        raise BundleFormatError(f"no {TENSORS_NAME} in {path}")
+    with np.load(tensors_path, allow_pickle=False) as archive:
+        return {key: archive[key] for key in archive.files}
+
+
+def load_model_from_state(
+    path: str | Path, state: dict[str, np.ndarray]
+) -> SatoModel:
+    """Rebuild a bundle's model around an externally supplied tensor state.
+
+    ``path`` still provides the manifest (config tree, tensor key list,
+    variant); ``state`` provides the tensors — either the bundle's own
+    ``.npz`` contents (:func:`read_state`) or zero-copy views into a
+    shared-memory store (:class:`repro.serving.shm.SharedTensorStore`).
+    The same manifest checks run either way, so a shared-memory load is
+    validated exactly like the classic path.
+    """
+    path = Path(path)
+    manifest = _read_manifest(path)
+    model_config = manifest["model"]
+
+    sato_raw = dict(model_config["sato"])
+    training = TrainingConfig(**sato_raw.pop("training"))
+    sato_config = SatoConfig(training=training, **sato_raw)
+
+    column_model = _build_column_model(model_config["column_model"])
+    model = SatoModel(config=sato_config, column_model=column_model)
+
+    expected_keys = manifest.get("tensor_keys")
+    if expected_keys is not None and sorted(state) != expected_keys:
+        missing = sorted(set(expected_keys) - set(state))
+        extra = sorted(set(state) - set(expected_keys))
+        raise BundleFormatError(
+            f"tensor state does not match the manifest "
+            f"(missing: {missing}, unexpected: {extra})"
+        )
+    model.load_state_dict(state)
+
+    variant = model_config.get("variant")
+    if variant is not None and variant != model.name:
+        raise BundleFormatError(
+            f"manifest variant {variant!r} does not match the rebuilt "
+            f"model's variant {model.name!r}"
+        )
+    return model
+
+
 def load_model(path: str | Path) -> SatoModel:
     """Load a fitted Sato model from a bundle directory (no retraining).
 
@@ -211,35 +270,4 @@ def load_model(path: str | Path) -> SatoModel:
         ('Base', True)
     """
     path = Path(path)
-    manifest = _read_manifest(path)
-    model_config = manifest["model"]
-
-    sato_raw = dict(model_config["sato"])
-    training = TrainingConfig(**sato_raw.pop("training"))
-    sato_config = SatoConfig(training=training, **sato_raw)
-
-    column_model = _build_column_model(model_config["column_model"])
-    model = SatoModel(config=sato_config, column_model=column_model)
-
-    tensors_path = path / TENSORS_NAME
-    if not tensors_path.is_file():
-        raise BundleFormatError(f"no {TENSORS_NAME} in {path}")
-    with np.load(tensors_path, allow_pickle=False) as archive:
-        state = {key: archive[key] for key in archive.files}
-    expected_keys = manifest.get("tensor_keys")
-    if expected_keys is not None and sorted(state) != expected_keys:
-        missing = sorted(set(expected_keys) - set(state))
-        extra = sorted(set(state) - set(expected_keys))
-        raise BundleFormatError(
-            f"{TENSORS_NAME} does not match the manifest "
-            f"(missing: {missing}, unexpected: {extra})"
-        )
-    model.load_state_dict(state)
-
-    variant = model_config.get("variant")
-    if variant is not None and variant != model.name:
-        raise BundleFormatError(
-            f"manifest variant {variant!r} does not match the rebuilt "
-            f"model's variant {model.name!r}"
-        )
-    return model
+    return load_model_from_state(path, read_state(path))

@@ -33,6 +33,7 @@ import numpy as np
 from repro.models import MODEL_BACKENDS, SatoModel, TopicAwareModel
 from repro.models.batched import split_by_table
 from repro.serving.bundle import load_model, model_fingerprint
+from repro.serving.shm import load_model_shared
 from repro.tables import Column, Table
 
 __all__ = ["column_fingerprint", "LRUCache", "Predictor"]
@@ -213,6 +214,10 @@ class Predictor:
         self._tables = 0
         self._columns = 0
         self._predict_seconds = 0.0
+        # Set by from_shared_bundle (and by fleet workers on commit): the
+        # shared-memory tensor store backing this predictor's model weights.
+        # Owned here so close() unmaps it after the featurizer lets go.
+        self.shared_store = None
 
     @classmethod
     def from_bundle(
@@ -235,6 +240,41 @@ class Predictor:
             model_name=model_name,
             model_version=model_version,
         )
+
+    @classmethod
+    def from_shared_bundle(
+        cls,
+        bundle_path,
+        store_path,
+        cache_size: int = 4096,
+        feature_backend: str | None = None,
+        workers: int | None = None,
+        model_backend: str = "batched",
+        model_name: str | None = None,
+        model_version: str | None = None,
+    ) -> "Predictor":
+        """Build a predictor whose weights are zero-copy shared-memory views.
+
+        ``store_path`` is a packed tensor store produced by
+        :func:`repro.serving.shm.pack_bundle` from the bundle at
+        ``bundle_path``.  The model's tensors become read-only views into
+        one memory mapping, so N worker processes serving the same bundle
+        share a single physical copy of the weights.  The mapping is owned
+        by the returned predictor (``shared_store``) and released by
+        :meth:`close`.
+        """
+        model, store = load_model_shared(bundle_path, store_path)
+        predictor = cls(
+            model,
+            cache_size=cache_size,
+            feature_backend=feature_backend,
+            workers=workers,
+            model_backend=model_backend,
+            model_name=model_name,
+            model_version=model_version,
+        )
+        predictor.shared_store = store
+        return predictor
 
     @classmethod
     def from_registry(
@@ -488,9 +528,15 @@ class Predictor:
 
         The predictor stays usable; the engine rebuilds lazily on the next
         prediction.  Call this when tearing down a server that used
-        ``workers > 1`` so the shard processes exit promptly.
+        ``workers > 1`` so the shard processes exit promptly.  A predictor
+        built from a shared tensor store also unmaps the store — after
+        that, the model's weight views are gone and the predictor must not
+        serve again.
         """
         self.featurizer.close()
+        if self.shared_store is not None:
+            store, self.shared_store = self.shared_store, None
+            store.close()
 
     def cache_info(self) -> dict:
         """Cache statistics of the serving hot path.

@@ -32,6 +32,7 @@ traffic while a batch is being served.
 from __future__ import annotations
 
 import asyncio
+import threading
 import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
@@ -83,6 +84,13 @@ class ServingMetrics:
     All numbers are exposed as one JSON-friendly dictionary by
     :meth:`snapshot` — this is exactly what ``GET /metrics`` returns.
 
+    Recording and snapshotting are thread-safe: in a single-process server
+    everything happens on the event loop, but a fleet front-end records
+    completions from pipe-reader callbacks while worker processes snapshot
+    their own instances concurrently, so every mutation runs under one
+    internal lock (the contended section is a few counter bumps — far too
+    small to show up next to a model forward pass).
+
     Examples:
         >>> metrics = ServingMetrics(window=4)
         >>> metrics.record_admitted()
@@ -113,85 +121,106 @@ class ServingMetrics:
         self.batch_seconds = 0.0
         self.batch_size_histogram: dict[int, int] = {}
         self._latencies: deque[float] = deque(maxlen=window)
+        self._lock = threading.Lock()
 
     # -------------------------------------------------------------- recording
 
     def record_admitted(self) -> None:
         """Count a request accepted into the pending queue."""
-        self.admitted += 1
+        with self._lock:
+            self.admitted += 1
 
     def record_rejected_queue_full(self) -> None:
         """Count a request turned away at the admission bound (HTTP 429)."""
-        self.rejected_queue_full += 1
+        with self._lock:
+            self.rejected_queue_full += 1
 
     def record_rejected_draining(self) -> None:
         """Count a request turned away during graceful drain (HTTP 503)."""
-        self.rejected_draining += 1
+        with self._lock:
+            self.rejected_draining += 1
 
     def record_malformed(self) -> None:
         """Count a request rejected before admission (HTTP 400)."""
-        self.malformed += 1
+        with self._lock:
+            self.malformed += 1
 
     def record_batch(self, n_tables: int, n_columns: int, seconds: float) -> None:
         """Account one dispatched batch (size, column volume, model time)."""
-        self.batches += 1
-        self.tables_served += n_tables
-        self.columns_served += n_columns
-        self.batch_seconds += seconds
-        self.batch_size_histogram[n_tables] = (
-            self.batch_size_histogram.get(n_tables, 0) + 1
-        )
+        with self._lock:
+            self.batches += 1
+            self.tables_served += n_tables
+            self.columns_served += n_columns
+            self.batch_seconds += seconds
+            self.batch_size_histogram[n_tables] = (
+                self.batch_size_histogram.get(n_tables, 0) + 1
+            )
 
     def record_request(self, latency_seconds: float) -> None:
         """Account one completed request's admission-to-response latency."""
-        self.completed += 1
-        self._latencies.append(latency_seconds)
+        with self._lock:
+            self.completed += 1
+            self._latencies.append(latency_seconds)
 
     def record_error(self) -> None:
         """Count a request that failed inside the model (HTTP 500)."""
-        self.errors += 1
+        with self._lock:
+            self.errors += 1
 
     # ------------------------------------------------------------- reporting
 
+    def latencies(self) -> list[float]:
+        """The raw latency window in seconds (arrival order, oldest first).
+
+        A fleet front-end merges the windows of every worker before
+        computing percentiles, so aggregated p50/p95/p99 are true fleet
+        percentiles rather than an average of per-worker ones.
+        """
+        with self._lock:
+            return list(self._latencies)
+
     def snapshot(self) -> dict:
         """One JSON-friendly dictionary of every tracked number."""
-        uptime = max(time.monotonic() - self.started_at, 1e-9)
-        latencies = sorted(self._latencies)
-        mean_batch = self.tables_served / self.batches if self.batches else 0.0
-        return {
-            "uptime_seconds": uptime,
-            "requests": {
-                "admitted": self.admitted,
-                "completed": self.completed,
-                "errors": self.errors,
-                "rejected_queue_full": self.rejected_queue_full,
-                "rejected_draining": self.rejected_draining,
-                "malformed": self.malformed,
-                "qps": self.completed / uptime,
-            },
-            "batches": {
-                "count": self.batches,
-                "mean_size": mean_batch,
-                "size_histogram": {
-                    str(size): count
-                    for size, count in sorted(self.batch_size_histogram.items())
+        with self._lock:
+            uptime = max(time.monotonic() - self.started_at, 1e-9)
+            latencies = sorted(self._latencies)
+            mean_batch = self.tables_served / self.batches if self.batches else 0.0
+            return {
+                "uptime_seconds": uptime,
+                "requests": {
+                    "admitted": self.admitted,
+                    "completed": self.completed,
+                    "errors": self.errors,
+                    "rejected_queue_full": self.rejected_queue_full,
+                    "rejected_draining": self.rejected_draining,
+                    "malformed": self.malformed,
+                    "qps": self.completed / uptime,
                 },
-                "model_seconds_total": self.batch_seconds,
-            },
-            "latency_ms": {
-                "window": len(latencies),
-                "p50": _percentile(latencies, 0.50) * 1e3,
-                "p95": _percentile(latencies, 0.95) * 1e3,
-                "p99": _percentile(latencies, 0.99) * 1e3,
-                "mean": (sum(latencies) / len(latencies) * 1e3) if latencies else 0.0,
-                "max": (latencies[-1] * 1e3) if latencies else 0.0,
-            },
-            "columns": {
-                "served": self.columns_served,
-                "tables": self.tables_served,
-                "columns_per_sec": self.columns_served / uptime,
-            },
-        }
+                "batches": {
+                    "count": self.batches,
+                    "mean_size": mean_batch,
+                    "size_histogram": {
+                        str(size): count
+                        for size, count in sorted(self.batch_size_histogram.items())
+                    },
+                    "model_seconds_total": self.batch_seconds,
+                },
+                "latency_ms": {
+                    "window": len(latencies),
+                    "p50": _percentile(latencies, 0.50) * 1e3,
+                    "p95": _percentile(latencies, 0.95) * 1e3,
+                    "p99": _percentile(latencies, 0.99) * 1e3,
+                    "mean": (
+                        (sum(latencies) / len(latencies) * 1e3) if latencies else 0.0
+                    ),
+                    "max": (latencies[-1] * 1e3) if latencies else 0.0,
+                },
+                "columns": {
+                    "served": self.columns_served,
+                    "tables": self.tables_served,
+                    "columns_per_sec": self.columns_served / uptime,
+                },
+            }
 
 
 @dataclass

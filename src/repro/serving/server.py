@@ -195,6 +195,18 @@ class ServingServer:
     shadow:
         Optional pre-attached :class:`~repro.registry.ShadowEvaluator`;
         normally shadows are started through ``POST /v1/admin/shadow``.
+    batcher:
+        Optional pre-built scheduler to serve through instead of the
+        default :class:`~repro.serving.scheduler.MicroBatcher` — anything
+        with the same ``start``/``submit_versioned``/``drain``/``pending``
+        surface.  This is how a :class:`~repro.serving.fleet.ServingFleet`
+        plugs in: the fleet is passed as *both* ``predictor`` (model
+        identity, hot-swap facade) and ``batcher`` (request scheduling
+        across worker processes).  An injected batcher brings its own
+        ``metrics``; reloads are delegated to its
+        ``promote_version``/``reload_bundle`` when it has them, and
+        ``/healthz`` + ``/metrics`` pick up its ``health()`` and
+        ``fleet_metrics()`` when present.
     """
 
     def __init__(
@@ -210,6 +222,7 @@ class ServingServer:
         watch_interval: float | None = None,
         bundle_path: str | None = None,
         shadow=None,
+        batcher=None,
     ) -> None:
         if registry is not None and model_name is None:
             raise ValueError("registry mode requires model_name")
@@ -218,14 +231,18 @@ class ServingServer:
         self.predictor = predictor
         self.host = host
         self._requested_port = port
-        self.metrics = ServingMetrics()
-        self.batcher = MicroBatcher(
-            predictor,
-            max_batch_size=max_batch_size,
-            max_wait_ms=max_wait_ms,
-            max_queue=max_queue,
-            metrics=self.metrics,
-        )
+        if batcher is not None:
+            self.batcher = batcher
+            self.metrics = batcher.metrics
+        else:
+            self.metrics = ServingMetrics()
+            self.batcher = MicroBatcher(
+                predictor,
+                max_batch_size=max_batch_size,
+                max_wait_ms=max_wait_ms,
+                max_queue=max_queue,
+                metrics=self.metrics,
+            )
         self.registry = registry
         self.model_name = model_name
         self.watch_interval = watch_interval
@@ -321,9 +338,7 @@ class ServingServer:
         loop = asyncio.get_running_loop()
         while True:
             await asyncio.sleep(self.watch_interval)
-            self._watcher.seen_version = getattr(
-                self.predictor, "model_version", None
-            )
+            self._watcher.resync(getattr(self.predictor, "model_version", None))
             promoted = await loop.run_in_executor(None, self._watcher.poll)
             if promoted is None:
                 continue
@@ -338,9 +353,17 @@ class ServingServer:
         Loading (disk + integrity check) and the swap run in the default
         executor so the event loop keeps answering health checks; the
         reload lock serializes concurrent admin reloads and watcher swaps.
+        A batcher that knows how to converge itself (a
+        :class:`~repro.serving.fleet.ServingFleet`'s two-phase
+        ``promote_version``) is delegated to instead — the fleet owns the
+        swap protocol across its worker processes.
         """
         loop = asyncio.get_running_loop()
         async with self._reload_lock:
+            promote = getattr(self.batcher, "promote_version", None)
+            if promote is not None:
+                return await promote(version)
+
             def load_and_swap() -> dict:
                 model, info = self.registry.load(self.model_name, version)
                 return self.predictor.swap_model(
@@ -355,6 +378,10 @@ class ServingServer:
 
         loop = asyncio.get_running_loop()
         async with self._reload_lock:
+            reload_fleet = getattr(self.batcher, "reload_bundle", None)
+            if reload_fleet is not None:
+                return await reload_fleet()
+
             def load_and_swap() -> dict:
                 model = load_model(self.bundle_path)
                 return self.predictor.swap_model(model)
@@ -465,7 +492,7 @@ class ServingServer:
         if path == "/metrics":
             if method != "GET":
                 return 405, {"error": "use GET"}
-            return 200, self._metrics()
+            return 200, await self._metrics()
         if path == "/v1/predict":
             if method != "POST":
                 return 405, {"error": "use POST"}
@@ -490,14 +517,23 @@ class ServingServer:
 
     def _health(self) -> dict:
         snapshot = self.metrics.snapshot()
-        return {
+        health = {
             "status": "draining" if self._draining else "ok",
             "draining": self._draining,
             "pending": self.batcher.pending,
             "uptime_seconds": snapshot["uptime_seconds"],
         }
+        fleet_health = getattr(self.batcher, "health", None)
+        if fleet_health is not None:
+            fleet = fleet_health()
+            health["fleet"] = fleet
+            # A fleet with zero live workers cannot serve: a load balancer
+            # should see that on /healthz, not discover it via 500s.
+            if fleet.get("alive", 1) == 0 and not self._draining:
+                health["status"] = "unhealthy"
+        return health
 
-    def _metrics(self) -> dict:
+    async def _metrics(self) -> dict:
         snapshot = self.metrics.snapshot()
         cache_info = getattr(self.predictor, "cache_info", None)
         if cache_info is not None:
@@ -510,6 +546,9 @@ class ServingServer:
             snapshot["predictor"] = predict_info()
         if self.shadow is not None:
             snapshot["shadow"] = self.shadow.snapshot()
+        fleet_metrics = getattr(self.batcher, "fleet_metrics", None)
+        if fleet_metrics is not None:
+            snapshot["fleet"] = await fleet_metrics()
         snapshot["policy"] = {
             "max_batch_size": self.batcher.max_batch_size,
             "max_wait_ms": self.batcher.max_wait_ms,
@@ -732,6 +771,7 @@ def serve_in_thread(
     watch_interval: float | None = None,
     bundle_path: str | None = None,
     shadow=None,
+    batcher=None,
 ) -> ServerHandle:
     """Start a :class:`ServingServer` on a background thread's event loop.
 
@@ -768,6 +808,7 @@ def serve_in_thread(
         watch_interval=watch_interval,
         bundle_path=bundle_path,
         shadow=shadow,
+        batcher=batcher,
     )
     try:
         asyncio.run_coroutine_threadsafe(server.start(), loop).result(timeout=60)

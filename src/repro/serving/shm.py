@@ -1,0 +1,250 @@
+"""Shared-memory tensor store: one copy of the weights for a worker fleet.
+
+A multi-process serving fleet must not hold N private copies of the model:
+the fitted tensors (word vectors, LDA count matrices, network weights) are
+by far the largest state, and they are strictly read-only at inference
+time.  :class:`SharedTensorStore` packs every bundle tensor into a single
+flat binary file with a JSON sidecar describing the layout; each worker
+maps the file with ``mmap.ACCESS_READ`` and wraps zero-copy *non-writeable*
+NumPy views around the mapping.  The OS page cache then backs all workers
+with one physical copy of the weights, and any accidental in-place write
+raises immediately instead of silently corrupting the whole fleet.
+
+Why a file-backed mmap rather than ``multiprocessing.shared_memory``: on
+Python 3.10–3.12 a child process that attaches a ``SharedMemory`` segment
+registers it with its resource tracker and unlinks it when the child exits,
+destroying the segment for every sibling (bpo-39959; the ``track=False``
+escape hatch only exists from 3.13).  A regular file under ``/dev/shm``
+(tmpfs, falling back to the system temp dir) has identical page-sharing
+semantics with none of the lifetime pitfalls — POSIX keeps existing
+mappings alive after the file is unlinked, so a rolling promote can delete
+the old store while straggler workers finish their last batch on it.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import os
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "SHM_FORMAT",
+    "LAYOUT_SUFFIX",
+    "ShmFormatError",
+    "SharedTensorStore",
+    "default_store_dir",
+    "pack_bundle",
+    "load_model_shared",
+    "remove_store",
+]
+
+#: Format tag written into (and checked against) the layout sidecar.
+SHM_FORMAT = "repro-shm-tensors-v1"
+
+#: The layout sidecar lives next to the packed file: ``<store>.layout.json``.
+LAYOUT_SUFFIX = ".layout.json"
+
+#: Tensor offsets are rounded up to this boundary (cache-line friendly, and
+#: safely above any NumPy dtype's alignment requirement).
+ALIGNMENT = 64
+
+
+class ShmFormatError(RuntimeError):
+    """Raised when a packed tensor store cannot be (safely) opened."""
+
+
+def default_store_dir() -> Path:
+    """Preferred directory for packed stores: tmpfs when available.
+
+    ``/dev/shm`` keeps the pages in RAM outright; on platforms without it
+    the system temp dir still shares pages through the page cache.
+    """
+    shm = Path("/dev/shm")
+    if shm.is_dir() and os.access(shm, os.W_OK):
+        return shm
+    return Path(tempfile.gettempdir())
+
+
+def _layout_path(path: Path) -> Path:
+    return Path(str(path) + LAYOUT_SUFFIX)
+
+
+class SharedTensorStore:
+    """A packed, mmap-shareable snapshot of a model's tensor state.
+
+    One process (the fleet parent) packs the bundle's tensors once with
+    :meth:`pack`; any number of processes then :meth:`open` the same file
+    and serve from zero-copy read-only views of the shared pages.
+
+    Examples:
+        >>> import numpy as np, tempfile
+        >>> state = {"w": np.arange(6, dtype=np.float64).reshape(2, 3),
+        ...          "tokens": np.array(["alpha", "b"], dtype=np.str_)}
+        >>> with tempfile.TemporaryDirectory() as root:
+        ...     path = SharedTensorStore.pack(state, root + "/tensors.bin")
+        ...     store = SharedTensorStore.open(path)
+        ...     views = store.state_dict()
+        ...     same = all(np.array_equal(views[k], state[k]) for k in state)
+        ...     read_only = not views["w"].flags.writeable
+        ...     store.close()
+        >>> (same, read_only)
+        (True, True)
+    """
+
+    def __init__(
+        self,
+        path: Path,
+        arrays: dict[str, np.ndarray],
+        mapping: mmap.mmap | None,
+    ) -> None:
+        self.path = path
+        self._arrays = arrays
+        self._mapping = mapping
+
+    # ------------------------------------------------------------------ pack
+
+    @staticmethod
+    def pack(state: dict[str, np.ndarray], path: str | Path) -> Path:
+        """Write a tensor dict as one flat aligned binary file + layout.
+
+        Keys are laid out in sorted order at :data:`ALIGNMENT`-byte offsets;
+        dtypes (including fixed-width unicode) round-trip exactly, so the
+        opened views are bit-identical to the packed arrays.
+        """
+        path = Path(path)
+        layout: dict[str, dict] = {}
+        chunks: list[tuple[int, np.ndarray]] = []
+        offset = 0
+        for key in sorted(state):
+            tensor = np.ascontiguousarray(state[key])
+            offset = -(-offset // ALIGNMENT) * ALIGNMENT
+            layout[key] = {
+                "offset": offset,
+                "dtype": tensor.dtype.str,
+                "shape": list(tensor.shape),
+            }
+            chunks.append((offset, tensor))
+            offset += tensor.nbytes
+        total = max(offset, 1)  # an empty file cannot be mmapped
+        with path.open("wb") as handle:
+            handle.truncate(total)
+            for start, tensor in chunks:
+                handle.seek(start)
+                handle.write(tensor.tobytes())
+        meta = {"format": SHM_FORMAT, "total_bytes": total, "tensors": layout}
+        _layout_path(path).write_text(
+            json.dumps(meta, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        return path
+
+    # ------------------------------------------------------------------ open
+
+    @classmethod
+    def open(cls, path: str | Path) -> "SharedTensorStore":
+        """Map a packed store read-only and wrap zero-copy tensor views."""
+        path = Path(path)
+        layout_path = _layout_path(path)
+        if not path.is_file() or not layout_path.is_file():
+            raise ShmFormatError(f"no packed tensor store at {path}")
+        try:
+            meta = json.loads(layout_path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as error:
+            raise ShmFormatError(f"corrupt layout {layout_path}: {error}") from error
+        if meta.get("format") != SHM_FORMAT:
+            raise ShmFormatError(
+                f"unsupported store format {meta.get('format')!r} "
+                f"(expected {SHM_FORMAT})"
+            )
+        with path.open("rb") as handle:
+            size = os.fstat(handle.fileno()).st_size
+            if size < meta.get("total_bytes", 0):
+                raise ShmFormatError(
+                    f"store {path} is truncated "
+                    f"({size} < {meta['total_bytes']} bytes)"
+                )
+            mapping = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        arrays: dict[str, np.ndarray] = {}
+        for key, spec in meta["tensors"].items():
+            dtype = np.dtype(spec["dtype"])
+            shape = tuple(int(n) for n in spec["shape"])
+            count = 1
+            for n in shape:
+                count *= n
+            # A read-only mmap buffer makes the view non-writeable — the
+            # enforcement half of "one shared copy, nobody mutates it".
+            arrays[key] = np.frombuffer(
+                mapping, dtype=dtype, count=count, offset=int(spec["offset"])
+            ).reshape(shape)
+        return cls(path, arrays, mapping)
+
+    # ----------------------------------------------------------------- views
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Zero-copy read-only views, keyed like the bundle's ``.npz`` state.
+
+        The views alias the mapping: they stay valid until :meth:`close`
+        (and, through NumPy's buffer references, as long as any view is
+        still alive).
+        """
+        return dict(self._arrays)
+
+    @property
+    def nbytes(self) -> int:
+        """Total tensor payload currently exposed by this store."""
+        return sum(array.nbytes for array in self._arrays.values())
+
+    def close(self) -> None:
+        """Release this process's mapping (best effort).
+
+        If views are still referenced elsewhere (e.g. by a model that is
+        mid-teardown), the mmap cannot be closed yet; the pages are then
+        released when the last view is garbage collected.
+        """
+        self._arrays = {}
+        if self._mapping is not None:
+            try:
+                self._mapping.close()
+            except BufferError:
+                pass  # exported views keep the mapping alive until GC'd
+            self._mapping = None
+
+
+def remove_store(path: str | Path) -> None:
+    """Delete a packed store and its layout sidecar (missing files are fine).
+
+    Safe to call while other processes still map the file: POSIX keeps
+    their mappings alive until they close.
+    """
+    Path(path).unlink(missing_ok=True)
+    _layout_path(Path(path)).unlink(missing_ok=True)
+
+
+def pack_bundle(bundle_path: str | Path, store_path: str | Path) -> Path:
+    """Pack a bundle directory's ``.npz`` tensors into a shared store file."""
+    from repro.serving.bundle import read_state
+
+    return SharedTensorStore.pack(read_state(bundle_path), store_path)
+
+
+def load_model_shared(bundle_path: str | Path, store_path: str | Path):
+    """Load a bundle's model with its tensors backed by a shared store.
+
+    Returns ``(model, store)``: the model's components hold read-only views
+    into the store's mapping (the loaders are zero-copy), so N processes
+    opening the same store serve from one physical copy of the weights.
+    The caller owns the store and must keep it open for the model's
+    lifetime.
+    """
+    from repro.serving.bundle import load_model_from_state
+
+    store = SharedTensorStore.open(store_path)
+    try:
+        model = load_model_from_state(bundle_path, store.state_dict())
+    except Exception:
+        store.close()
+        raise
+    return model, store

@@ -169,10 +169,14 @@ class LatentDirichletAllocation:
     def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
         """Restore state produced by :meth:`state_dict`."""
         self.dictionary = Dictionary.from_tokens(state["tokens"].tolist())
+        # Zero-copy: inference runs :meth:`_gibbs_sweep` with
+        # ``update_topics=False``, which only *reads* the count matrices, so
+        # they can safely be non-writeable shared-memory views (one copy of
+        # the topic model for a whole serving fleet).
         self.topic_token_counts = np.asarray(
             state["topic_token_counts"], dtype=np.float64
-        ).copy()
-        self.topic_counts = np.asarray(state["topic_counts"], dtype=np.float64).copy()
+        )
+        self.topic_counts = np.asarray(state["topic_counts"], dtype=np.float64)
         self._fitted = True
 
     # ------------------------------------------------------------- inference

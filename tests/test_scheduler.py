@@ -275,3 +275,58 @@ class TestServingMetrics:
         assert _percentile(values, 0.0) == 1.0
         assert _percentile(values, 1.0) == 4.0
         assert _percentile(values, 0.5) in (2.0, 3.0)
+
+    def test_latencies_returns_raw_window_in_order(self):
+        metrics = ServingMetrics(window=3)
+        for latency in (0.3, 0.1, 0.2, 0.4):
+            metrics.record_request(latency)
+        assert metrics.latencies() == [0.1, 0.2, 0.4]
+        # A copy, not the live deque: mutating it must not leak back.
+        metrics.latencies().append(9.9)
+        assert metrics.latencies() == [0.1, 0.2, 0.4]
+
+    def test_concurrent_writers_lose_no_counts(self):
+        """ServingMetrics is shared by the fleet's event loop, reader
+        threads and worker dispatch; concurrent recording must be exact."""
+        import threading
+
+        metrics = ServingMetrics(window=256)
+        n_threads, per_thread = 8, 500
+        barrier = threading.Barrier(n_threads)
+        snapshots: list[dict] = []
+
+        def writer(index: int) -> None:
+            barrier.wait()
+            for i in range(per_thread):
+                metrics.record_admitted()
+                metrics.record_request(0.001 * (index + 1))
+                metrics.record_batch(n_tables=1, n_columns=3, seconds=0.0005)
+                if i % 50 == 0:
+                    metrics.record_error()
+                    metrics.record_rejected_queue_full()
+                    snapshots.append(metrics.snapshot())
+
+        threads = [
+            threading.Thread(target=writer, args=(index,))
+            for index in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        expected = n_threads * per_thread
+        snap = metrics.snapshot()
+        assert snap["requests"]["admitted"] == expected
+        assert snap["requests"]["completed"] == expected
+        assert snap["requests"]["errors"] == n_threads * (per_thread // 50)
+        assert snap["requests"]["rejected_queue_full"] == n_threads * (
+            per_thread // 50
+        )
+        assert snap["batches"]["count"] == expected
+        assert snap["columns"]["served"] == expected * 3
+        assert snap["latency_ms"]["window"] == 256
+        # Mid-flight snapshots taken under contention are internally sane.
+        for mid in snapshots:
+            assert mid["requests"]["completed"] <= expected
+            assert mid["batches"]["count"] <= expected
