@@ -1,0 +1,55 @@
+"""Hard-case suite evaluation: per-suite macro-F1 as a tracked series.
+
+Every shipped suite under ``specs/`` is built deterministically (same spec
++ same seed => bit-identical tables) and scored with one trained model, so
+the per-suite macro-F1 numbers are reproducible evidence rather than
+samples.  CI runs this at the ``tiny`` preset in the docs job, uploads the
+JSON as the ``eval-suites`` artifact, and ``check_trend.py`` gates two
+tracked metrics from it:
+
+* ``eval_suites.n_suites`` — the suite inventory must never silently
+  shrink (a deleted or unloadable spec file is a coverage regression),
+* ``eval_suites.clean_baseline.macro_f1`` — the friendly control suite's
+  score; the hard suites are read relative to it, so a collapse here means
+  the model or the spec layer broke, not that the scenarios got harder.
+
+The model is the ``Base`` variant (no topic, no CRF): the fastest trainer,
+and suite scoring stresses the corpus/evaluation layers identically for
+every variant.
+"""
+
+from __future__ import annotations
+
+from conftest import emit, emit_json, run_once
+
+from repro.corpus.suites import available_suites
+from repro.evaluation.suites import evaluate_suites
+from repro.experiments.pipeline import build_corpus, make_model_factories
+from repro.serving import Predictor
+
+
+def _evaluate_all_suites(config) -> dict:
+    dataset = build_corpus(config)
+    model = make_model_factories(config)["Base"]()
+    model.fit(dataset.tables)
+    reports = evaluate_suites(Predictor(model), preset="tiny")
+    return {name: report.to_dict() for name, report in sorted(reports.items())}
+
+
+def test_eval_suites(benchmark, config):
+    reports = run_once(benchmark, _evaluate_all_suites, config)
+
+    assert set(reports) == set(available_suites())
+    assert len(reports) >= 6
+    for name, report in reports.items():
+        assert 0.0 <= report["macro_f1"] <= 1.0, name
+        assert report["n_columns"] > 0, name
+
+    lines = [f"{'suite':<18} {'macro F1':>9} {'columns':>8}  difficulty"]
+    for name, report in reports.items():
+        lines.append(
+            f"{name:<18} {report['macro_f1']:>9.3f} {report['n_columns']:>8d}"
+            f"  {report['difficulty'].get('expected', '?')}"
+        )
+    emit("eval_suites", "\n".join(lines))
+    emit_json("eval_suites", {**reports, "n_suites": len(reports)})

@@ -3,6 +3,8 @@
 Subcommands::
 
     repro-sato generate  --n-tables 500 --out corpus.jsonl
+    repro-sato generate  --spec specs/unicode_heavy.json --out suite.jsonl \
+                         --split-out suite.split.json
     repro-sato train     --corpus corpus.jsonl --out model/
     repro-sato predict   --model model/ --csv mytable.csv \
                          --feature-backend vectorized --workers 4
@@ -13,15 +15,20 @@ Subcommands::
                          --watch-interval 2
     repro-sato evaluate  --corpus corpus.jsonl --variant Sato --k 3
     repro-sato evaluate  --model model/ --corpus eval.jsonl
+    repro-sato evaluate  --model model/ --suite all --suite-preset tiny
+    repro-sato suites    --json
     repro-sato registry  publish --registry registry/ --name sato --model model/
     repro-sato registry  promote --registry registry/ --name sato \
-                         --version v0002 --gate --eval-set eval.jsonl
+                         --version v0002 --gate --eval-set eval.jsonl \
+                         --suite unicode_heavy --suite dirty_columns:0.1
     repro-sato registry  rollback --registry registry/ --name sato
     repro-sato registry  list --registry registry/
     repro-sato registry  gc --registry registry/ --name sato --keep 2
     repro-sato report    --preset tiny
 
-``generate`` writes a synthetic corpus.  ``train`` fits a model variant on a
+``generate`` writes a synthetic corpus — either from the knob-based
+generator or, with ``--spec``, deterministically from a declarative corpus
+spec (``docs/corpus_spec.md``).  ``train`` fits a model variant on a
 corpus and saves it as an artifact bundle, after which ``predict --model``
 loads the bundle and serves per-column predictions for CSV tables without
 retraining.  When ``--model`` is absent, ``predict --corpus`` falls back to
@@ -29,10 +36,14 @@ the legacy retrain-per-call behaviour.  ``serve`` exposes a bundle — or, in
 registry mode, the *promoted version* of a registered model, hot-swapping
 on promotion — over HTTP with micro-batched online inference (see
 ``docs/http_api.md`` and ``docs/operations.md``).  ``evaluate`` either
-cross-validates one model variant (legacy) or, with ``--model``, evaluates
-a saved bundle on a held-out corpus without any retraining.  ``registry``
-manages the versioned model lifecycle (``docs/registry.md``) and ``report``
-regenerates the Table 1 summary for a configuration preset.
+cross-validates one model variant (legacy), evaluates a saved bundle on a
+held-out corpus with ``--model``, or scores a bundle on shipped hard-case
+suites with ``--suite``.  ``suites`` lists the shipped suites and their
+difficulty manifests.  ``registry`` manages the versioned model lifecycle
+(``docs/registry.md``); gated promotions may add per-suite criteria via
+``--suite`` and every gate decision is appended to the model's
+``GATE_LOG.json``.  ``report`` regenerates the Table 1 summary for a
+configuration preset.
 """
 
 from __future__ import annotations
@@ -44,10 +55,15 @@ import time
 from typing import Sequence
 
 from repro.corpus import CorpusConfig, CorpusGenerator
+from repro.corpus.suites import SUITE_PRESETS
 from repro.evaluation import evaluate_model_cv
 from repro.experiments import ExperimentConfig, reporting, run_main_results
 from repro.experiments.pipeline import make_model_factories
-from repro.registry.gates import DEFAULT_GATE_MIN_AGREEMENT, DEFAULT_GATE_MIN_F1
+from repro.registry.gates import (
+    DEFAULT_GATE_MIN_AGREEMENT,
+    DEFAULT_GATE_MIN_F1,
+    DEFAULT_SUITE_REGRESSION_TOLERANCE,
+)
 from repro.registry.watch import DEFAULT_WATCH_INTERVAL
 from repro.serving import BundleFormatError, Predictor, save_model
 from repro.serving.scheduler import (
@@ -74,6 +90,16 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--n-tables", type=int, default=500)
     generate.add_argument("--seed", type=int, default=13)
     generate.add_argument("--singleton-rate", type=float, default=0.4)
+    generate.add_argument(
+        "--spec",
+        help="declarative corpus spec (JSON/YAML): build this spec "
+        "deterministically instead of using the knob-based generator",
+    )
+    generate.add_argument(
+        "--split-out",
+        help="with --spec: also write the spec's train/test split "
+        "assignment as JSON",
+    )
     generate.add_argument("--out", required=True, help="output JSONL path")
 
     train = subparsers.add_parser(
@@ -96,13 +122,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     evaluate.add_argument(
         "--corpus",
-        required=True,
-        help="corpus JSONL path (the eval set with --model, the CV corpus without)",
+        help="corpus JSONL path (the eval set with --model, the CV corpus "
+        "without; not used with --suite)",
+    )
+    evaluate.add_argument(
+        "--suite",
+        help="score --model on a shipped hard-case suite by name, or 'all' "
+        "(see `repro-sato suites`); replaces --corpus",
+    )
+    evaluate.add_argument(
+        "--suite-preset",
+        choices=sorted(SUITE_PRESETS),
+        default="tiny",
+        help="suite size preset: 'tiny' for CI-speed runs, 'full' as specced",
+    )
+    evaluate.add_argument(
+        "--json",
+        dest="json_out",
+        help="with --suite: also write the per-suite reports as JSON",
     )
     evaluate.add_argument("--variant", choices=MODEL_VARIANTS, default="Sato")
     evaluate.add_argument("--k", type=int, default=3)
     evaluate.add_argument("--multi-column-only", action="store_true")
     evaluate.add_argument("--epochs", type=int, default=15)
+
+    suites = subparsers.add_parser(
+        "suites", help="list the shipped hard-case eval suites"
+    )
+    suites.add_argument(
+        "--json",
+        dest="json_out",
+        action="store_true",
+        help="emit the full difficulty manifests as JSON",
+    )
 
     predict = subparsers.add_parser("predict", help="predict column types of CSV tables")
     predict.add_argument(
@@ -271,6 +323,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="live shadow agreement rate measured by a serving instance "
         "(overrides the offline replay agreement)",
     )
+    promote.add_argument(
+        "--suite",
+        action="append",
+        default=[],
+        metavar="NAME[:MIN_F1]",
+        help="with --gate: also require the candidate to clear this "
+        "hard-case suite (floor defaults to the suite's suggested_floor; "
+        "repeatable)",
+    )
+    promote.add_argument(
+        "--suite-preset",
+        choices=sorted(SUITE_PRESETS),
+        default="tiny",
+        help="suite size preset used by the per-suite gates",
+    )
+    promote.add_argument(
+        "--suite-tolerance",
+        type=float,
+        default=DEFAULT_SUITE_REGRESSION_TOLERANCE,
+        help="how far a suite's macro-F1 may fall below the incumbent's",
+    )
 
     rollback = registry_sub.add_parser(
         "rollback", help="re-promote the previously promoted version"
@@ -326,6 +399,28 @@ def _add_model_backend_argument(parser: argparse.ArgumentParser) -> None:
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.spec is not None:
+        from repro.corpus import SpecError, build_corpus, load_spec
+
+        try:
+            spec = load_spec(args.spec)
+        except (OSError, SpecError) as error:
+            print(f"cannot load spec {args.spec}: {error}", file=sys.stderr)
+            return 2
+        bundle = build_corpus(spec)
+        count = tables_to_jsonl(bundle.tables, args.out)
+        if args.split_out is not None:
+            with open(args.split_out, "w", encoding="utf-8") as handle:
+                json.dump(bundle.split, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        print(
+            f"wrote {count} tables to {args.out} "
+            f"(spec {spec.name}, seed {spec.seed})"
+        )
+        return 0
+    if args.split_out is not None:
+        print("--split-out requires --spec", file=sys.stderr)
+        return 2
     config = CorpusConfig(
         n_tables=args.n_tables, seed=args.seed, singleton_rate=args.singleton_rate
     )
@@ -359,6 +454,51 @@ def _cmd_train(args: argparse.Namespace) -> int:
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
+    if args.suite is not None:
+        from repro.corpus.suites import available_suites
+        from repro.evaluation.suites import evaluate_suites
+
+        if args.model is None:
+            print("--suite requires --model (a trained bundle)", file=sys.stderr)
+            return 2
+        if args.corpus is not None:
+            print(
+                "--suite and --corpus are mutually exclusive: a suite is "
+                "its own eval set",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            predictor = Predictor.from_bundle(args.model)
+        except BundleFormatError as error:
+            print(f"cannot load model bundle: {error}", file=sys.stderr)
+            return 2
+        names = None if args.suite == "all" else [args.suite]
+        if names is not None and names[0] not in available_suites():
+            print(
+                f"unknown suite {args.suite!r} "
+                f"(available: {', '.join(available_suites())})",
+                file=sys.stderr,
+            )
+            return 2
+        reports = evaluate_suites(predictor, names, preset=args.suite_preset)
+        for name, report in sorted(reports.items()):
+            print(
+                f"{name:<18} macro F1={report.macro_f1:.3f} "
+                f"weighted F1={report.weighted_f1:.3f} "
+                f"accuracy={report.accuracy:.3f} "
+                f"({report.n_tables} tables, {report.n_columns} columns, "
+                f"{report.difficulty.get('expected', '?')})"
+            )
+        if args.json_out is not None:
+            payload = {name: report.to_dict() for name, report in reports.items()}
+            with open(args.json_out, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        return 0
+    if args.corpus is None:
+        print("evaluate requires --corpus (or --suite with --model)", file=sys.stderr)
+        return 2
     if args.model is not None:
         # Bundle path: load once, evaluate on the corpus as a held-out set.
         # No retraining — the seed-era behaviour of refitting per invocation
@@ -446,6 +586,28 @@ def _cmd_predict(args: argparse.Namespace) -> int:
         for index, (column, label) in enumerate(zip(table.columns, labels)):
             header = column.header or f"column {index}"
             print(f"{header:<24} -> {label}")
+    return 0
+
+
+def _cmd_suites(args: argparse.Namespace) -> int:
+    from repro.corpus.suites import available_suites, suite_manifest
+
+    names = available_suites()
+    if not names:
+        print("no suites shipped (specs/ is empty)", file=sys.stderr)
+        return 1
+    if args.json_out:
+        payload = {name: suite_manifest(name) for name in names}
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    for name in names:
+        manifest = suite_manifest(name)
+        difficulty = manifest.get("difficulty") or {}
+        axes = ", ".join(difficulty.get("axes") or []) or "-"
+        print(
+            f"{name:<18} {difficulty.get('expected', '?'):<8} "
+            f"floor={difficulty.get('suggested_floor', '-')}  axes: {axes}"
+        )
     return 0
 
 
@@ -626,10 +788,12 @@ def _parse_metrics(pairs: list[str]) -> dict:
 
 
 def _cmd_registry(args: argparse.Namespace) -> int:
+    from repro.corpus.suites import available_suites
     from repro.registry import (
         ModelRegistry,
         RegistryError,
         load_eval_tables,
+        parse_suite_gate,
         run_gate,
     )
 
@@ -656,9 +820,29 @@ def _cmd_registry(args: argparse.Namespace) -> int:
 
         if args.registry_command == "promote":
             gate_record = None
+            if args.suite and not args.gate:
+                print("--suite requires --gate", file=sys.stderr)
+                return 2
             if args.gate:
                 if args.eval_set is None:
                     print("--gate requires --eval-set", file=sys.stderr)
+                    return 2
+                try:
+                    suite_gates = [parse_suite_gate(text) for text in args.suite]
+                except ValueError as error:
+                    print(str(error), file=sys.stderr)
+                    return 2
+                unknown = [
+                    gate.suite
+                    for gate in suite_gates
+                    if gate.suite not in available_suites()
+                ]
+                if unknown:
+                    print(
+                        f"unknown suite(s): {', '.join(unknown)} "
+                        f"(available: {', '.join(available_suites())})",
+                        file=sys.stderr,
+                    )
                     return 2
                 try:
                     eval_tables = load_eval_tables(args.eval_set)
@@ -684,6 +868,9 @@ def _cmd_registry(args: argparse.Namespace) -> int:
                     min_agreement=args.min_agreement,
                     incumbent=incumbent,
                     shadow_agreement=args.shadow_agreement,
+                    suite_gates=suite_gates,
+                    suite_preset=args.suite_preset,
+                    suite_tolerance=args.suite_tolerance,
                 )
                 agreement = (
                     f"{result.agreement:.3f}" if result.agreement is not None else "n/a"
@@ -693,11 +880,28 @@ def _cmd_registry(args: argparse.Namespace) -> int:
                     f"(min {args.min_f1:.3f}), agreement={agreement} "
                     f"(min {args.min_agreement:.3f})"
                 )
+                for suite in result.suites:
+                    incumbent_f1 = (
+                        f"{suite.incumbent_f1:.3f}"
+                        if suite.incumbent_f1 is not None
+                        else "n/a"
+                    )
+                    verdict = "ok" if suite.passed else "FAIL"
+                    print(
+                        f"gate suite {suite.suite} ({suite.preset}): "
+                        f"macro F1={suite.macro_f1:.3f} "
+                        f"(floor {suite.min_f1:.3f}, "
+                        f"incumbent {incumbent_f1}) {verdict}"
+                    )
+                gate_record = result.to_dict()
+                # Win or lose, the decision is appended to GATE_LOG.json so
+                # a refused candidate leaves auditable evidence even though
+                # the promotion below never runs.
+                registry.record_gate(args.name, args.version, gate_record)
                 if not result.passed:
                     for reason in result.reasons:
                         print(f"REFUSED: {reason}", file=sys.stderr)
                     return 1
-                gate_record = result.to_dict()
             info = registry.promote(args.name, args.version, gate=gate_record)
             print(f"promoted {args.name}/{info.version}")
             return 0
@@ -760,6 +964,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "generate": _cmd_generate,
         "train": _cmd_train,
         "evaluate": _cmd_evaluate,
+        "suites": _cmd_suites,
         "predict": _cmd_predict,
         "serve": _cmd_serve,
         "registry": _cmd_registry,

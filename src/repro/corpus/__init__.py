@@ -11,10 +11,33 @@ The resulting corpus exhibits the three statistical properties Sato relies
 on: per-type value distributions (single-column signal), table-level thematic
 coherence (global context / topic signal), and adjacent-column type
 co-occurrence (local context / CRF signal).
+
+Two front doors:
+
+* :class:`CorpusConfig` + :class:`CorpusGenerator` — the original knob-based
+  generator (size, noise level, seed),
+* :mod:`repro.corpus.spec` — the declarative route: a JSON/YAML spec names
+  every table layout, generator and constraint, and :func:`build_corpus`
+  turns it into a deterministic corpus.  The shipped hard-case eval suites
+  under ``specs/`` (:mod:`repro.corpus.suites`) are built this way.
 """
 
 from repro.corpus.config import CorpusConfig, NoiseConfig
 from repro.corpus.generator import CorpusGenerator, generate_corpus
+from repro.corpus.rng import SpecRNG, derive_seed, pick
+from repro.corpus.spec import (
+    ColumnSpec,
+    CorpusBundle,
+    CorpusSpec,
+    RowsSpec,
+    ScdSpec,
+    SpecError,
+    SplitSpec,
+    TableSpec,
+    build_corpus,
+    load_spec,
+    parse_spec,
+)
 from repro.corpus.splits import (
     Dataset,
     KFoldSplit,
@@ -27,12 +50,40 @@ from repro.corpus.statistics import (
     adjacent_cooccurrence_matrix,
     type_counts,
 )
+from repro.corpus.suites import (
+    SUITE_PRESETS,
+    available_suites,
+    build_suite,
+    load_suite_spec,
+    scale_spec,
+    suite_manifest,
+)
 
 __all__ = [
     "CorpusConfig",
     "NoiseConfig",
     "CorpusGenerator",
     "generate_corpus",
+    "SpecRNG",
+    "derive_seed",
+    "pick",
+    "ColumnSpec",
+    "CorpusBundle",
+    "CorpusSpec",
+    "RowsSpec",
+    "ScdSpec",
+    "SpecError",
+    "SplitSpec",
+    "TableSpec",
+    "build_corpus",
+    "load_spec",
+    "parse_spec",
+    "SUITE_PRESETS",
+    "available_suites",
+    "build_suite",
+    "load_suite_spec",
+    "scale_spec",
+    "suite_manifest",
     "Dataset",
     "KFoldSplit",
     "kfold_split",

@@ -22,6 +22,7 @@ import numpy as np
 from repro.corpus.config import CorpusConfig
 from repro.corpus.generators import generate_value, make_person, make_place
 from repro.corpus.noise import apply_cell_noise, apply_header_noise
+from repro.corpus.rng import pick
 from repro.corpus.schemas import DEFAULT_SCHEMAS, TableSchema
 from repro.tables import Column, Table
 
@@ -74,8 +75,7 @@ class CorpusGenerator:
         schema = self._sample_schema(rng)
         types = self._sample_column_types(schema, rng)
         if rng.random() < self.config.singleton_rate:
-            keep = int(rng.integers(0, len(types)))
-            types = [types[keep]]
+            types = [pick(rng, types)]
         n_rows = int(rng.integers(self.config.min_rows, self.config.max_rows + 1))
         columns = self._generate_columns(types, n_rows, rng)
         return Table(

@@ -24,6 +24,7 @@ from typing import Callable
 import numpy as np
 
 from repro.corpus import vocab
+from repro.corpus.rng import pick
 from repro.types import SEMANTIC_TYPES
 
 __all__ = [
@@ -38,17 +39,13 @@ __all__ = [
 RowContext = dict
 
 
-def _choice(rng: np.random.Generator, items: list[str]) -> str:
-    return items[int(rng.integers(0, len(items)))]
-
-
 def make_person(rng: np.random.Generator) -> dict:
     """Sample a coherent person entity used across person-related columns."""
-    first = _choice(rng, vocab.FIRST_NAMES)
-    last = _choice(rng, vocab.LAST_NAMES)
+    first = pick(rng, vocab.FIRST_NAMES)
+    last = pick(rng, vocab.LAST_NAMES)
     birth_year = int(rng.integers(1900, 2005))
-    birth_city = _choice(rng, vocab.CITIES)
-    sex = _choice(rng, ["Male", "Female"])
+    birth_city = pick(rng, vocab.CITIES)
+    sex = pick(rng, ["Male", "Female"])
     return {
         "first": first,
         "last": last,
@@ -58,16 +55,16 @@ def make_person(rng: np.random.Generator) -> dict:
         "birth_day": int(rng.integers(1, 29)),
         "birth_city": birth_city,
         "birth_country": vocab.CITY_INFO[birth_city][0],
-        "nationality": _choice(rng, vocab.NATIONALITIES),
+        "nationality": pick(rng, vocab.NATIONALITIES),
         "sex": sex,
-        "occupation": _choice(rng, vocab.OCCUPATIONS),
+        "occupation": pick(rng, vocab.OCCUPATIONS),
         "age": max(16, 2020 - birth_year - int(rng.integers(0, 3))),
     }
 
 
 def make_place(rng: np.random.Generator) -> dict:
     """Sample a coherent place entity (city with its country/state/region)."""
-    city = _choice(rng, vocab.CITIES)
+    city = pick(rng, vocab.CITIES)
     country, state, continent, region = vocab.CITY_INFO[city]
     return {
         "city": city,
@@ -75,7 +72,7 @@ def make_place(rng: np.random.Generator) -> dict:
         "state": state,
         "continent": continent,
         "region": region,
-        "county": _choice(rng, vocab.COUNTIES),
+        "county": pick(rng, vocab.COUNTIES),
     }
 
 
@@ -100,8 +97,8 @@ def _person_name(rng: np.random.Generator, ctx: RowContext) -> str:
 
 
 def _other_person_name(rng: np.random.Generator, ctx: RowContext) -> str:
-    first = _choice(rng, vocab.FIRST_NAMES)
-    last = _choice(rng, vocab.LAST_NAMES)
+    first = pick(rng, vocab.FIRST_NAMES)
+    last = pick(rng, vocab.LAST_NAMES)
     return f"{first} {last}"
 
 
@@ -110,16 +107,16 @@ def _gen_name(rng, ctx):
 
 
 def _gen_description(rng, ctx):
-    return _choice(rng, vocab.DESCRIPTION_PHRASES)
+    return pick(rng, vocab.DESCRIPTION_PHRASES)
 
 
 def _gen_team(rng, ctx):
-    return _choice(rng, vocab.TEAMS)
+    return pick(rng, vocab.TEAMS)
 
 
 def _gen_type(rng, ctx):
     pool = vocab.CATEGORY_WORDS + vocab.CLASS_WORDS + vocab.FORMAT_WORDS
-    return _choice(rng, pool)
+    return pick(rng, pool)
 
 
 def _gen_age(rng, ctx):
@@ -132,13 +129,13 @@ def _gen_age(rng, ctx):
 def _gen_location(rng, ctx):
     place = _place(ctx, rng)
     styles = ["city", "city_country", "venue"]
-    style = _choice(rng, styles)
+    style = pick(rng, styles)
     if style == "city":
         return place["city"]
     if style == "city_country":
         return f"{place['city']}, {place['country']}"
     venues = ["Stadium", "Arena", "Convention Center", "Park", "Hall", "Theatre"]
-    return f"{place['city']} {_choice(rng, venues)}"
+    return f"{place['city']} {pick(rng, venues)}"
 
 
 def _gen_year(rng, ctx):
@@ -154,23 +151,23 @@ def _gen_rank(rng, ctx):
 
 
 def _gen_status(rng, ctx):
-    return _choice(rng, vocab.STATUS_WORDS)
+    return pick(rng, vocab.STATUS_WORDS)
 
 
 def _gen_state(rng, ctx):
     place = ctx.get("place")
     if place is not None and place["country"] == "United States":
         return place["state"]
-    return _choice(rng, vocab.US_STATES)
+    return pick(rng, vocab.US_STATES)
 
 
 def _gen_category(rng, ctx):
-    return _choice(rng, vocab.CATEGORY_WORDS)
+    return pick(rng, vocab.CATEGORY_WORDS)
 
 
 def _gen_weight(rng, ctx):
     styles = ["kg", "lb", "plain", "grams"]
-    style = _choice(rng, styles)
+    style = pick(rng, styles)
     value = float(rng.uniform(40, 140))
     if style == "kg":
         return f"{value:.1f} kg"
@@ -184,25 +181,25 @@ def _gen_weight(rng, ctx):
 def _gen_code(rng, ctx):
     letters = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
     n_letters = int(rng.integers(2, 5))
-    prefix = "".join(_choice(rng, list(letters)) for _ in range(n_letters))
+    prefix = "".join(pick(rng, list(letters)) for _ in range(n_letters))
     return f"{prefix}-{int(rng.integers(100, 10000))}"
 
 
 def _gen_club(rng, ctx):
-    return _choice(rng, vocab.CLUBS)
+    return pick(rng, vocab.CLUBS)
 
 
 def _gen_artist(rng, ctx):
-    return _choice(rng, vocab.ARTISTS)
+    return pick(rng, vocab.ARTISTS)
 
 
 def _gen_result(rng, ctx):
-    return _choice(rng, vocab.RESULT_WORDS)
+    return pick(rng, vocab.RESULT_WORDS)
 
 
 def _gen_position(rng, ctx):
     if rng.random() < 0.6:
-        return _choice(rng, vocab.SPORT_POSITIONS)
+        return pick(rng, vocab.SPORT_POSITIONS)
     return str(int(rng.integers(1, 25)))
 
 
@@ -211,31 +208,31 @@ def _gen_country(rng, ctx):
 
 
 def _gen_notes(rng, ctx):
-    return _choice(rng, vocab.NOTE_PHRASES)
+    return pick(rng, vocab.NOTE_PHRASES)
 
 
 def _gen_class(rng, ctx):
-    return _choice(rng, vocab.CLASS_WORDS)
+    return pick(rng, vocab.CLASS_WORDS)
 
 
 def _gen_company(rng, ctx):
-    return _choice(rng, vocab.COMPANIES)
+    return pick(rng, vocab.COMPANIES)
 
 
 def _gen_album(rng, ctx):
-    return _choice(rng, vocab.ALBUMS)
+    return pick(rng, vocab.ALBUMS)
 
 
 def _gen_symbol(rng, ctx):
     letters = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
     n = int(rng.integers(2, 5))
-    return "".join(_choice(rng, list(letters)) for _ in range(n))
+    return "".join(pick(rng, list(letters)) for _ in range(n))
 
 
 def _gen_address(rng, ctx):
     number = int(rng.integers(1, 9999))
-    street = _choice(rng, vocab.STREET_NAMES)
-    suffix = _choice(rng, vocab.STREET_SUFFIXES)
+    street = pick(rng, vocab.STREET_NAMES)
+    suffix = pick(rng, vocab.STREET_SUFFIXES)
     if rng.random() < 0.4:
         city = _place(ctx, rng)["city"]
         return f"{number} {street} {suffix}, {city}"
@@ -243,7 +240,7 @@ def _gen_address(rng, ctx):
 
 
 def _gen_duration(rng, ctx):
-    style = _choice(rng, ["mmss", "hms", "minutes", "seconds"])
+    style = pick(rng, ["mmss", "hms", "minutes", "seconds"])
     if style == "mmss":
         return f"{int(rng.integers(0, 60))}:{int(rng.integers(0, 60)):02d}"
     if style == "hms":
@@ -257,7 +254,7 @@ def _gen_duration(rng, ctx):
 
 
 def _gen_format(rng, ctx):
-    return _choice(rng, vocab.FORMAT_WORDS)
+    return pick(rng, vocab.FORMAT_WORDS)
 
 
 def _gen_county(rng, ctx):
@@ -266,7 +263,7 @@ def _gen_county(rng, ctx):
 
 def _gen_day(rng, ctx):
     if rng.random() < 0.7:
-        return _choice(rng, vocab.DAYS)
+        return pick(rng, vocab.DAYS)
     return str(int(rng.integers(1, 32)))
 
 
@@ -274,26 +271,26 @@ def _gen_gender(rng, ctx):
     person = ctx.get("person")
     if person is not None and rng.random() < 0.8:
         return person["sex"]
-    return _choice(rng, vocab.GENDERS)
+    return pick(rng, vocab.GENDERS)
 
 
 def _gen_industry(rng, ctx):
-    return _choice(rng, vocab.INDUSTRIES)
+    return pick(rng, vocab.INDUSTRIES)
 
 
 def _gen_language(rng, ctx):
-    return _choice(rng, vocab.LANGUAGES)
+    return pick(rng, vocab.LANGUAGES)
 
 
 def _gen_sex(rng, ctx):
     person = ctx.get("person")
     if person is not None and rng.random() < 0.8:
         return person["sex"]
-    return _choice(rng, vocab.SEXES)
+    return pick(rng, vocab.SEXES)
 
 
 def _gen_product(rng, ctx):
-    return _choice(rng, vocab.PRODUCTS)
+    return pick(rng, vocab.PRODUCTS)
 
 
 def _gen_jockey(rng, ctx):
@@ -304,11 +301,11 @@ def _gen_region(rng, ctx):
     place = ctx.get("place")
     if place is not None and rng.random() < 0.6:
         return place["region"]
-    return _choice(rng, vocab.REGIONS)
+    return pick(rng, vocab.REGIONS)
 
 
 def _gen_area(rng, ctx):
-    style = _choice(rng, ["km2", "sqmi", "plain", "hectare"])
+    style = pick(rng, ["km2", "sqmi", "plain", "hectare"])
     value = float(rng.uniform(1, 20000))
     if style == "km2":
         return f"{value:,.1f} km2"
@@ -320,12 +317,12 @@ def _gen_area(rng, ctx):
 
 
 def _gen_service(rng, ctx):
-    return _choice(rng, vocab.SERVICE_WORDS)
+    return pick(rng, vocab.SERVICE_WORDS)
 
 
 def _gen_team_name(rng, ctx):
-    city = _choice(rng, vocab.CITIES)
-    team = _choice(rng, vocab.TEAMS)
+    city = pick(rng, vocab.CITIES)
+    team = pick(rng, vocab.TEAMS)
     return f"{city} {team}"
 
 
@@ -349,7 +346,7 @@ def _gen_isbn(rng, ctx):
 
 
 def _gen_file_size(rng, ctx):
-    unit = _choice(rng, ["KB", "MB", "GB", "bytes"])
+    unit = pick(rng, ["KB", "MB", "GB", "bytes"])
     value = float(rng.uniform(1, 900))
     if unit == "bytes":
         return f"{int(value * 1024)}"
@@ -357,11 +354,11 @@ def _gen_file_size(rng, ctx):
 
 
 def _gen_grades(rng, ctx):
-    return _choice(rng, vocab.GRADES)
+    return pick(rng, vocab.GRADES)
 
 
 def _gen_publisher(rng, ctx):
-    return _choice(rng, vocab.PUBLISHERS)
+    return pick(rng, vocab.PUBLISHERS)
 
 
 def _gen_plays(rng, ctx):
@@ -376,7 +373,7 @@ def _gen_origin(rng, ctx):
 
 
 def _gen_elevation(rng, ctx):
-    style = _choice(rng, ["m", "ft", "plain"])
+    style = pick(rng, ["m", "ft", "plain"])
     value = float(rng.uniform(-50, 4500))
     if style == "m":
         return f"{value:.0f} m"
@@ -386,33 +383,33 @@ def _gen_elevation(rng, ctx):
 
 
 def _gen_affiliation(rng, ctx):
-    return _choice(rng, vocab.AFFILIATIONS)
+    return pick(rng, vocab.AFFILIATIONS)
 
 
 def _gen_component(rng, ctx):
-    return _choice(rng, vocab.COMPONENT_WORDS)
+    return pick(rng, vocab.COMPONENT_WORDS)
 
 
 def _gen_owner(rng, ctx):
     if rng.random() < 0.6:
         return _other_person_name(rng, ctx)
-    return _choice(rng, vocab.COMPANIES)
+    return pick(rng, vocab.COMPANIES)
 
 
 def _gen_genre(rng, ctx):
-    return _choice(rng, vocab.GENRES)
+    return pick(rng, vocab.GENRES)
 
 
 def _gen_manufacturer(rng, ctx):
-    return _choice(rng, vocab.MANUFACTURERS)
+    return pick(rng, vocab.MANUFACTURERS)
 
 
 def _gen_brand(rng, ctx):
-    return _choice(rng, vocab.BRANDS)
+    return pick(rng, vocab.BRANDS)
 
 
 def _gen_family(rng, ctx):
-    return _choice(rng, vocab.FAMILIES)
+    return pick(rng, vocab.FAMILIES)
 
 
 def _gen_credit(rng, ctx):
@@ -422,7 +419,7 @@ def _gen_credit(rng, ctx):
 
 
 def _gen_depth(rng, ctx):
-    style = _choice(rng, ["m", "ft", "cm", "plain"])
+    style = pick(rng, ["m", "ft", "cm", "plain"])
     value = float(rng.uniform(0.1, 1000))
     if style == "m":
         return f"{value:.1f} m"
@@ -435,36 +432,36 @@ def _gen_depth(rng, ctx):
 
 def _gen_classification(rng, ctx):
     pool = vocab.CLASS_WORDS + vocab.CATEGORY_WORDS
-    return _choice(rng, pool)
+    return pick(rng, pool)
 
 
 def _gen_collection(rng, ctx):
-    return _choice(rng, vocab.COLLECTION_WORDS)
+    return pick(rng, vocab.COLLECTION_WORDS)
 
 
 def _gen_species(rng, ctx):
-    return _choice(rng, vocab.SPECIES)
+    return pick(rng, vocab.SPECIES)
 
 
 def _gen_command(rng, ctx):
-    return _choice(rng, vocab.COMMAND_WORDS)
+    return pick(rng, vocab.COMMAND_WORDS)
 
 
 def _gen_nationality(rng, ctx):
     person = ctx.get("person")
     if person is not None and rng.random() < 0.8:
         return person["nationality"]
-    return _choice(rng, vocab.NATIONALITIES)
+    return pick(rng, vocab.NATIONALITIES)
 
 
 def _gen_currency(rng, ctx):
-    return _choice(rng, vocab.CURRENCIES)
+    return pick(rng, vocab.CURRENCIES)
 
 
 def _gen_range(rng, ctx):
     low = int(rng.integers(0, 500))
     high = low + int(rng.integers(1, 500))
-    style = _choice(rng, ["dash", "to", "km"])
+    style = pick(rng, ["dash", "to", "km"])
     if style == "dash":
         return f"{low}-{high}"
     if style == "to":
@@ -474,13 +471,13 @@ def _gen_range(rng, ctx):
 
 def _gen_affiliate(rng, ctx):
     if rng.random() < 0.5:
-        return _choice(rng, vocab.AFFILIATIONS)
-    return _choice(rng, vocab.COMPANIES)
+        return pick(rng, vocab.AFFILIATIONS)
+    return pick(rng, vocab.COMPANIES)
 
 
 def _gen_birth_date(rng, ctx):
     person = _person(ctx, rng)
-    style = _choice(rng, ["iso", "us", "long"])
+    style = pick(rng, ["iso", "us", "long"])
     year, month, day = person["birth_year"], person["birth_month"], person["birth_day"]
     if style == "iso":
         return f"{year}-{month:02d}-{day:02d}"
@@ -494,7 +491,7 @@ def _gen_ranking(rng, ctx):
 
 
 def _gen_capacity(rng, ctx):
-    style = _choice(rng, ["plain", "comma", "liters"])
+    style = pick(rng, ["plain", "comma", "liters"])
     value = int(rng.integers(100, 100000))
     if style == "comma":
         return f"{value:,}"
@@ -509,7 +506,7 @@ def _gen_birth_place(rng, ctx):
         if ctx.get("_rng_birthplace_country", rng.random()) < 0.3:
             return person["birth_country"]
         return person["birth_city"]
-    return _choice(rng, vocab.CITIES)
+    return pick(rng, vocab.CITIES)
 
 
 def _gen_person(rng, ctx):
@@ -521,19 +518,19 @@ def _gen_creator(rng, ctx):
 
 
 def _gen_operator(rng, ctx):
-    return _choice(rng, vocab.OPERATORS)
+    return pick(rng, vocab.OPERATORS)
 
 
 def _gen_religion(rng, ctx):
-    return _choice(rng, vocab.RELIGIONS)
+    return pick(rng, vocab.RELIGIONS)
 
 
 def _gen_education(rng, ctx):
-    return _choice(rng, vocab.EDUCATION_LEVELS)
+    return pick(rng, vocab.EDUCATION_LEVELS)
 
 
 def _gen_requirement(rng, ctx):
-    return _choice(rng, vocab.REQUIREMENT_WORDS)
+    return pick(rng, vocab.REQUIREMENT_WORDS)
 
 
 def _gen_director(rng, ctx):
@@ -541,7 +538,7 @@ def _gen_director(rng, ctx):
 
 
 def _gen_sales(rng, ctx):
-    style = _choice(rng, ["plain", "comma", "currency", "millions"])
+    style = pick(rng, ["plain", "comma", "currency", "millions"])
     value = int(rng.integers(100, 10_000_000))
     if style == "comma":
         return f"{value:,}"
@@ -556,11 +553,11 @@ def _gen_continent(rng, ctx):
     place = ctx.get("place")
     if place is not None and rng.random() < 0.7:
         return place["continent"]
-    return _choice(rng, vocab.CONTINENTS)
+    return pick(rng, vocab.CONTINENTS)
 
 
 def _gen_organisation(rng, ctx):
-    return _choice(rng, vocab.ORGANISATIONS)
+    return pick(rng, vocab.ORGANISATIONS)
 
 
 #: Mapping from semantic type label to its value generator.

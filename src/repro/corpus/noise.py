@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.corpus.config import NoiseConfig
+from repro.corpus.rng import pick
 
 __all__ = ["apply_cell_noise", "apply_header_noise", "corrupt_value"]
 
@@ -24,7 +25,7 @@ def corrupt_value(value: str, rng: np.random.Generator) -> str:
     position = int(rng.integers(0, len(value)))
     operation = int(rng.integers(0, 3))
     if operation == 0:
-        replacement = _TYPO_ALPHABET[int(rng.integers(0, len(_TYPO_ALPHABET)))]
+        replacement = pick(rng, _TYPO_ALPHABET)
         return value[:position] + replacement + value[position + 1:]
     if operation == 1 and len(value) > 1:
         return value[:position] + value[position + 1:]
@@ -34,7 +35,7 @@ def corrupt_value(value: str, rng: np.random.Generator) -> str:
 def apply_cell_noise(value: str, noise: NoiseConfig, rng: np.random.Generator) -> str:
     """Apply the configured cell-level noise to a single value."""
     if rng.random() < noise.missing_cell_rate:
-        return _MISSING_TOKENS[int(rng.integers(0, len(_MISSING_TOKENS)))]
+        return pick(rng, _MISSING_TOKENS)
     if rng.random() < noise.typo_rate:
         value = corrupt_value(value, rng)
     if rng.random() < noise.case_noise_rate:

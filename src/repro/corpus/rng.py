@@ -1,0 +1,100 @@
+"""Deterministic randomness for corpus synthesis.
+
+Every layer of corpus generation (table composition, cell values, noise,
+spec-driven suites) draws from NumPy ``Generator`` streams.  Two things
+used to be duplicated across ``generator.py``, ``generators.py`` and
+``noise.py`` and have been consolidated here:
+
+* :func:`pick` — the canonical uniform-choice idiom
+  (``items[int(rng.integers(0, len(items)))]``).  Each module used to carry
+  its own inline copy; they all route through this one now, so the
+  consumption pattern (exactly one ``integers`` draw per pick) can never
+  drift between layers.  Drift would silently change every seeded corpus.
+* :class:`SpecRNG` — named, independently derived substreams.  The
+  declarative spec layer (:mod:`repro.corpus.spec`) generates tables in a
+  fixed tree (spec -> table spec -> table index -> row), and each node gets
+  its own stream derived from the root seed and the node's path.  Adding a
+  table to a spec therefore never shifts the values of the tables around
+  it, which keeps spec files stable under editing.
+
+The derivation is a BLAKE2b hash of the root seed and the path components,
+so it is stable across processes, platforms and Python hash randomisation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Sequence, TypeVar
+
+import numpy as np
+
+__all__ = ["SpecRNG", "derive_seed", "pick"]
+
+T = TypeVar("T")
+
+
+def pick(rng: np.random.Generator, items: Sequence[T]) -> T:
+    """Uniformly choose one item, consuming exactly one ``integers`` draw.
+
+    This is the single shared implementation of the choice idiom used by
+    every corpus layer; see the module docstring for why it must not be
+    re-implemented inline.
+    """
+    return items[int(rng.integers(0, len(items)))]
+
+
+def derive_seed(root_seed: int, *path: object) -> int:
+    """Derive a child seed from a root seed and a path of names/indices.
+
+    Deterministic across processes (no ``hash()``), and well-distributed
+    even for adjacent root seeds or paths.
+    """
+    digest = hashlib.blake2b(digest_size=8)
+    digest.update(str(int(root_seed)).encode("utf-8"))
+    for component in path:
+        digest.update(b"/")
+        digest.update(str(component).encode("utf-8"))
+    return int.from_bytes(digest.digest(), "little")
+
+
+class SpecRNG:
+    """A named deterministic random stream with derivable substreams.
+
+    Examples:
+        >>> root = SpecRNG(13)
+        >>> a = root.child("tables", 0).integers(0, 100)
+        >>> b = SpecRNG(13).child("tables", 0).integers(0, 100)
+        >>> a == b
+        True
+        >>> root.child("tables", 0).path
+        (13, 'tables', 0)
+    """
+
+    def __init__(self, seed: int, *path: object) -> None:
+        self.seed = int(seed)
+        self.path: tuple = (self.seed, *path)
+        self.np = np.random.default_rng(
+            derive_seed(self.seed, *path) if path else self.seed
+        )
+
+    def child(self, *path: object) -> "SpecRNG":
+        """A new independent stream for a sub-scope (no draws consumed)."""
+        return SpecRNG(self.seed, *self.path[1:], *path)
+
+    # Thin delegation: one call on SpecRNG is one call on the underlying
+    # NumPy generator, so loops written against either consume identically.
+
+    def pick(self, items: Sequence[T]) -> T:
+        return pick(self.np, items)
+
+    def integers(self, low: int, high: int) -> int:
+        return int(self.np.integers(low, high))
+
+    def random(self) -> float:
+        return float(self.np.random())
+
+    def uniform(self, low: float, high: float) -> float:
+        return float(self.np.uniform(low, high))
+
+    def permutation(self, n: int) -> np.ndarray:
+        return self.np.permutation(n)

@@ -1,0 +1,857 @@
+"""Declarative corpus specification: JSON/YAML in, deterministic corpus out.
+
+The seed-era :class:`~repro.corpus.generator.CorpusGenerator` bakes its
+table intents into Python code.  This module replaces that configuration
+surface with a *data* format so that evaluation corpora — in particular the
+adversarial suites under ``specs/`` — are reviewable artifacts rather than
+code changes.
+
+Design (after the ``DATA_SEMANTICS.md`` exemplar):
+
+* **Dtypes are generic storage domains** (``int``, ``decimal``, ``text``,
+  ``date``, ``bool``).  A dtype says how a value is shaped, never what it
+  *means*.
+* **All meaning comes from generators + params + constraints.**  A column
+  names a generator from :data:`SPEC_GENERATORS` with a params dict; the
+  generator's declared dtype must match the column's dtype.  Optional
+  ``transforms`` post-process values (script swaps, dirt injection).
+* **Fully deterministic per seed.**  Every table draws from a
+  :class:`~repro.corpus.rng.SpecRNG` substream derived from
+  ``(spec.seed, table_spec.name, table_index)``, so two builds of the same
+  spec are bit-identical and editing one table spec never shifts another's
+  values.  Split assignment is part of the contract: the train/test
+  assignment is derived from ``spec.split.seed`` and table identity.
+
+The format round-trips: ``parse_spec(spec.to_dict())`` reproduces an
+equivalent spec, which the property tests in ``tests/test_corpus_spec.py``
+assert for every shipped spec file.
+
+Examples:
+    >>> spec = parse_spec({
+    ...     "name": "demo", "seed": 7,
+    ...     "tables": [{
+    ...         "name": "people", "count": 2, "rows": {"min": 3, "max": 5},
+    ...         "columns": [
+    ...             {"name": "name", "dtype": "text", "label": "name",
+    ...              "generator": "semantic", "params": {"type": "name"}},
+    ...             {"name": "age", "dtype": "int", "label": "age",
+    ...              "generator": "int_range",
+    ...              "params": {"low": 16, "high": 95}},
+    ...         ]}]})
+    >>> bundle = build_corpus(spec)
+    >>> [t.labels for t in bundle.tables]
+    [['name', 'age'], ['name', 'age']]
+    >>> bundle.tables[0].columns[0].values == build_corpus(spec).tables[0].columns[0].values
+    True
+"""
+
+from __future__ import annotations
+
+import json
+import unicodedata
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.corpus.config import NoiseConfig
+from repro.corpus.generator import _PERSON_TYPES, _PLACE_TYPES
+from repro.corpus.generators import (
+    RowContext,
+    generate_value,
+    make_person,
+    make_place,
+)
+from repro.corpus.noise import apply_cell_noise
+from repro.corpus.rng import SpecRNG
+from repro.tables import Column, Table
+from repro.types import is_semantic_type
+
+__all__ = [
+    "DTYPES",
+    "SPEC_GENERATORS",
+    "SPEC_TRANSFORMS",
+    "ColumnSpec",
+    "CorpusBundle",
+    "CorpusSpec",
+    "RowsSpec",
+    "ScdSpec",
+    "SpecError",
+    "SplitSpec",
+    "TableSpec",
+    "build_corpus",
+    "load_spec",
+    "parse_spec",
+    "register_generator",
+    "register_transform",
+]
+
+#: Foundational storage domains.  Values are always *stored* as strings
+#: (the :class:`~repro.tables.Table` contract), so a dtype constrains the
+#: surface form a generator may emit, not the in-memory type.
+DTYPES = ("int", "decimal", "text", "date", "bool")
+
+
+class SpecError(ValueError):
+    """Raised when a corpus spec is malformed or internally inconsistent."""
+
+
+# --------------------------------------------------------------------------
+# Generator registry: name -> (dtype, callable(rng, params, ctx) -> str)
+# --------------------------------------------------------------------------
+
+#: Registered value generators.  Maps name -> (dtype, fn).
+SPEC_GENERATORS: dict[str, tuple[str, Callable]] = {}
+
+#: Registered transforms.  Maps name -> fn(value, rng, params) -> str.
+SPEC_TRANSFORMS: dict[str, Callable] = {}
+
+
+def register_generator(name: str, dtype: str):
+    """Register a named value generator producing cells of ``dtype``."""
+    if dtype not in DTYPES:
+        raise SpecError(f"unknown dtype {dtype!r} for generator {name!r}")
+
+    def decorator(fn: Callable) -> Callable:
+        SPEC_GENERATORS[name] = (dtype, fn)
+        return fn
+
+    return decorator
+
+
+def register_transform(name: str):
+    """Register a named value transform (applied after generation)."""
+
+    def decorator(fn: Callable) -> Callable:
+        SPEC_TRANSFORMS[name] = fn
+        return fn
+
+    return decorator
+
+
+@register_generator("semantic", "text")
+def _spec_semantic(rng: SpecRNG, params: dict, ctx: RowContext) -> str:
+    """A value from the built-in per-semantic-type cell generators.
+
+    This is the bridge to the seed-era cell layer: the whole
+    :data:`~repro.corpus.generators.VALUE_GENERATORS` registry (including
+    person/place row coordination) is reachable as ``{"type": <name>}``.
+    """
+    return generate_value(params["type"], rng.np, ctx)
+
+
+@register_generator("choice", "text")
+def _spec_choice(rng: SpecRNG, params: dict, ctx: RowContext) -> str:
+    values = params["values"]
+    weights = params.get("weights")
+    if weights is None:
+        return str(rng.pick(values))
+    total = float(sum(weights))
+    mark = rng.random() * total
+    acc = 0.0
+    for value, weight in zip(values, weights):
+        acc += float(weight)
+        if mark < acc:
+            return str(value)
+    return str(values[-1])
+
+
+@register_generator("int_range", "int")
+def _spec_int_range(rng: SpecRNG, params: dict, ctx: RowContext) -> str:
+    value = rng.integers(int(params.get("low", 0)), int(params.get("high", 100)) + 1)
+    style = params.get("style", "plain")
+    if style == "comma":
+        return f"{value:,}"
+    if style == "padded":
+        return f"{value:0{int(params.get('width', 5))}d}"
+    return str(value)
+
+
+@register_generator("decimal_range", "decimal")
+def _spec_decimal_range(rng: SpecRNG, params: dict, ctx: RowContext) -> str:
+    value = rng.uniform(float(params.get("low", 0.0)), float(params.get("high", 1.0)))
+    scale = int(params.get("scale", 2))
+    unit = params.get("unit", "")
+    text = f"{value:.{scale}f}"
+    return f"{text} {unit}".strip()
+
+
+@register_generator("pattern", "text")
+def _spec_pattern(rng: SpecRNG, params: dict, ctx: RowContext) -> str:
+    """Expand a pattern: ``A``=A-Z, ``a``=a-z, ``#``=0-9, else literal."""
+    out = []
+    for char in params["pattern"]:
+        if char == "A":
+            out.append(chr(ord("A") + rng.integers(0, 26)))
+        elif char == "a":
+            out.append(chr(ord("a") + rng.integers(0, 26)))
+        elif char == "#":
+            out.append(chr(ord("0") + rng.integers(0, 10)))
+        else:
+            out.append(char)
+    return "".join(out)
+
+
+@register_generator("digits", "int")
+def _spec_digits(rng: SpecRNG, params: dict, ctx: RowContext) -> str:
+    """Fixed-width digit strings (zip-code-shaped, id-shaped, ...)."""
+    width = int(params.get("width", 5))
+    return "".join(chr(ord("0") + rng.integers(0, 10)) for _ in range(width))
+
+
+@register_generator("date", "date")
+def _spec_date(rng: SpecRNG, params: dict, ctx: RowContext) -> str:
+    year = rng.integers(int(params.get("min_year", 1950)), int(params.get("max_year", 2021)) + 1)
+    month = rng.integers(1, 13)
+    day = rng.integers(1, 29)
+    style = params.get("style", "iso")
+    if style == "us":
+        return f"{month}/{day}/{year}"
+    if style == "year":
+        return str(year)
+    return f"{year}-{month:02d}-{day:02d}"
+
+
+@register_generator("flag", "bool")
+def _spec_flag(rng: SpecRNG, params: dict, ctx: RowContext) -> str:
+    truthy = rng.random() < float(params.get("probability_true", 0.5))
+    true_token, false_token = params.get("tokens", ["true", "false"])
+    return str(true_token) if truthy else str(false_token)
+
+
+@register_generator("unicode_text", "text")
+def _spec_unicode_text(rng: SpecRNG, params: dict, ctx: RowContext) -> str:
+    """Multilingual token soup drawn from named script pools."""
+    scripts = params.get("scripts", sorted(SCRIPT_POOLS))
+    n_words = rng.integers(int(params.get("min_words", 1)), int(params.get("max_words", 3)) + 1)
+    words = []
+    for _ in range(n_words):
+        pool = SCRIPT_POOLS[rng.pick(scripts)]
+        words.append(rng.pick(pool))
+    return " ".join(words)
+
+
+@register_generator("mixed", "text")
+def _spec_mixed(rng: SpecRNG, params: dict, ctx: RowContext) -> str:
+    """Per-cell weighted mixture of other generators (mixed-type columns)."""
+    parts = params["parts"]
+    weights = [float(part.get("weight", 1.0)) for part in parts]
+    total = sum(weights)
+    mark = rng.random() * total
+    acc = 0.0
+    chosen = parts[-1]
+    for part, weight in zip(parts, weights):
+        acc += weight
+        if mark < acc:
+            chosen = part
+            break
+    dtype, fn = SPEC_GENERATORS[chosen["generator"]]
+    return fn(rng, chosen.get("params", {}), ctx)
+
+
+#: Vocabulary pools for ``unicode_text``, grouped by script.  Small on
+#: purpose: suites stress the *featurizer's* codepoint handling (non-ASCII,
+#: non-BMP, RTL, combining marks), not vocabulary breadth.
+SCRIPT_POOLS: dict[str, tuple[str, ...]] = {
+    "latin_accents": (
+        "café", "naïve", "Zürich", "São", "Françoise", "Køpenhavn",
+        "Müller", "piñata", "Ångström", "crème",
+    ),
+    "cyrillic": (
+        "Москва", "Санкт-Петербург", "Дмитрий", "Ольга", "река",
+        "Новосибирск", "Ярославль",
+    ),
+    "greek": ("Αθήνα", "Θεσσαλονίκη", "Δημήτρης", "αλφάβητο", "Όλυμπος"),
+    "cjk": ("北京", "東京", "서울", "上海", "大阪", "京都", "広島", "平壤"),
+    "arabic": ("القاهرة", "دمشق", "بغداد", "الرياض", "محمد"),
+    "hebrew": ("ירושלים", "תל אביב", "חיפה", "דוד"),
+    "devanagari": ("दिल्ली", "मुंबई", "वाराणसी", "गंगा"),
+    "emoji": ("📊", "🌍", "🎉", "🚀", "🧪", "✨"),
+}
+
+
+# --------------------------------------------------------------------------
+# Transforms
+# --------------------------------------------------------------------------
+
+_ACCENT_MAP = {
+    "a": "á", "e": "é", "i": "í", "o": "ö", "u": "ü", "c": "ç", "n": "ñ",
+    "A": "Á", "E": "É", "I": "Í", "O": "Ö", "U": "Ü", "C": "Ç", "N": "Ñ",
+}
+
+
+@register_transform("accent")
+def _transform_accent(value: str, rng: SpecRNG, params: dict) -> str:
+    """Swap ASCII letters for accented equivalents at ``rate`` per char."""
+    rate = float(params.get("rate", 0.3))
+    out = []
+    for char in value:
+        if char in _ACCENT_MAP and rng.random() < rate:
+            out.append(_ACCENT_MAP[char])
+        else:
+            out.append(char)
+    text = "".join(out)
+    if params.get("decompose"):
+        # NFD splits accents into combining marks: same rendered text,
+        # different codepoint sequence — a classic featurizer trap.
+        text = unicodedata.normalize("NFD", text)
+    return text
+
+
+@register_transform("dirty")
+def _transform_dirty(value: str, rng: SpecRNG, params: dict) -> str:
+    """Per-column dirt injection via the shared noise layer."""
+    noise = NoiseConfig(
+        missing_cell_rate=float(params.get("missing_cell_rate", 0.0)),
+        typo_rate=float(params.get("typo_rate", 0.0)),
+        case_noise_rate=float(params.get("case_noise_rate", 0.0)),
+        whitespace_rate=float(params.get("whitespace_rate", 0.0)),
+    )
+    return apply_cell_noise(value, noise, rng.np)
+
+
+@register_transform("wrap")
+def _transform_wrap(value: str, rng: SpecRNG, params: dict) -> str:
+    """Add a fixed prefix/suffix at ``rate`` (units, brackets, ...)."""
+    if rng.random() < float(params.get("rate", 1.0)):
+        return f"{params.get('prefix', '')}{value}{params.get('suffix', '')}"
+    return value
+
+
+# --------------------------------------------------------------------------
+# Spec dataclasses
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RowsSpec:
+    """Row-count policy of one table spec.
+
+    Either a uniform ``[min, max]`` range or an explicit weighted
+    ``choices`` list (used by the skewed-row-count suite).
+    """
+
+    min_rows: int = 4
+    max_rows: int = 12
+    choices: tuple[int, ...] | None = None
+    weights: tuple[float, ...] | None = None
+
+    def sample(self, rng: SpecRNG) -> int:
+        if self.choices is not None:
+            if self.weights is None:
+                return int(rng.pick(self.choices))
+            total = float(sum(self.weights))
+            mark = rng.random() * total
+            acc = 0.0
+            for count, weight in zip(self.choices, self.weights):
+                acc += float(weight)
+                if mark < acc:
+                    return int(count)
+            return int(self.choices[-1])
+        return rng.integers(self.min_rows, self.max_rows + 1)
+
+    def to_dict(self) -> dict:
+        if self.choices is not None:
+            payload: dict = {"choices": list(self.choices)}
+            if self.weights is not None:
+                payload["weights"] = list(self.weights)
+            return payload
+        return {"min": self.min_rows, "max": self.max_rows}
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """One column: storage dtype + named generator + params + transforms."""
+
+    name: str
+    generator: str
+    dtype: str = "text"
+    params: dict = field(default_factory=dict)
+    label: str | None = None
+    transforms: tuple = ()
+    missing_rate: float = 0.0
+
+    def to_dict(self) -> dict:
+        payload: dict = {
+            "name": self.name,
+            "dtype": self.dtype,
+            "generator": self.generator,
+        }
+        if self.params:
+            payload["params"] = json.loads(json.dumps(self.params))
+        if self.label is not None:
+            payload["label"] = self.label
+        if self.transforms:
+            payload["transforms"] = [
+                {"name": name, **({"params": dict(params)} if params else {})}
+                for name, params in self.transforms
+            ]
+        if self.missing_rate:
+            payload["missing_rate"] = self.missing_rate
+        return payload
+
+
+@dataclass(frozen=True)
+class ScdSpec:
+    """Slowly-changing-dimension re-versioning of a table spec.
+
+    Each generated base table is re-emitted ``versions - 1`` more times.
+    ``key_columns`` stay fixed per row across versions (the business key);
+    ``changing_columns`` are re-generated with probability ``change_rate``
+    per row per version; every version carries a ``valid_from`` date column
+    (labelled ``year``) marking its effective period, SCD2-style.
+    """
+
+    versions: int = 3
+    change_rate: float = 0.3
+    key_columns: tuple[str, ...] = ()
+    changing_columns: tuple[str, ...] = ()
+    valid_from_column: str = "validFrom"
+    start_year: int = 2015
+
+    def to_dict(self) -> dict:
+        return {
+            "versions": self.versions,
+            "change_rate": self.change_rate,
+            "key_columns": list(self.key_columns),
+            "changing_columns": list(self.changing_columns),
+            "valid_from_column": self.valid_from_column,
+            "start_year": self.start_year,
+        }
+
+
+@dataclass(frozen=True)
+class TableSpec:
+    """A family of tables sharing one column layout."""
+
+    name: str
+    columns: tuple[ColumnSpec, ...]
+    count: int = 1
+    rows: RowsSpec = field(default_factory=RowsSpec)
+    scd: ScdSpec | None = None
+
+    def to_dict(self) -> dict:
+        payload: dict = {
+            "name": self.name,
+            "count": self.count,
+            "rows": self.rows.to_dict(),
+            "columns": [column.to_dict() for column in self.columns],
+        }
+        if self.scd is not None:
+            payload["scd"] = self.scd.to_dict()
+        return payload
+
+
+@dataclass(frozen=True)
+class SplitSpec:
+    """Deterministic train/test assignment policy."""
+
+    test_fraction: float = 0.5
+    seed: int = 0
+
+    def to_dict(self) -> dict:
+        return {"test_fraction": self.test_fraction, "seed": self.seed}
+
+
+@dataclass(frozen=True)
+class CorpusSpec:
+    """A complete declarative corpus: metadata + table specs + split."""
+
+    name: str
+    seed: int
+    tables: tuple[TableSpec, ...]
+    description: str = ""
+    difficulty: dict = field(default_factory=dict)
+    split: SplitSpec = field(default_factory=SplitSpec)
+    version: int = 1
+
+    def to_dict(self) -> dict:
+        """Canonical JSON payload; ``parse_spec`` round-trips it."""
+        payload: dict = {
+            "name": self.name,
+            "version": self.version,
+            "seed": self.seed,
+            "split": self.split.to_dict(),
+            "tables": [table.to_dict() for table in self.tables],
+        }
+        if self.description:
+            payload["description"] = self.description
+        if self.difficulty:
+            payload["difficulty"] = json.loads(json.dumps(self.difficulty))
+        return payload
+
+
+# --------------------------------------------------------------------------
+# Parsing / validation
+# --------------------------------------------------------------------------
+
+_NO_DEFAULT = object()
+
+
+def _require(payload: dict, key: str, where: str, default=_NO_DEFAULT):
+    if key in payload:
+        return payload[key]
+    if default is not _NO_DEFAULT:
+        return default
+    raise SpecError(f"{where}: missing required key {key!r}")
+
+
+def _parse_rows(payload, where: str) -> RowsSpec:
+    if payload is None:
+        return RowsSpec()
+    if isinstance(payload, int):
+        return RowsSpec(min_rows=payload, max_rows=payload)
+    if not isinstance(payload, dict):
+        raise SpecError(f"{where}.rows: expected int or object, got {payload!r}")
+    if "choices" in payload:
+        choices = tuple(int(c) for c in payload["choices"])
+        if not choices or any(c <= 0 for c in choices):
+            raise SpecError(f"{where}.rows.choices must be positive ints")
+        weights = payload.get("weights")
+        if weights is not None:
+            weights = tuple(float(w) for w in weights)
+            if len(weights) != len(choices) or any(w < 0 for w in weights):
+                raise SpecError(
+                    f"{where}.rows.weights must be non-negative and match choices"
+                )
+        return RowsSpec(choices=choices, weights=weights)
+    min_rows = int(payload.get("min", 4))
+    max_rows = int(payload.get("max", max(min_rows, 12)))
+    if min_rows <= 0 or max_rows < min_rows:
+        raise SpecError(f"{where}.rows: need 0 < min <= max")
+    return RowsSpec(min_rows=min_rows, max_rows=max_rows)
+
+
+def _parse_column(payload: dict, where: str) -> ColumnSpec:
+    name = _require(payload, "name", where)
+    where = f"{where}.{name}"
+    generator = _require(payload, "generator", where)
+    if generator not in SPEC_GENERATORS:
+        raise SpecError(
+            f"{where}: unknown generator {generator!r} "
+            f"(registered: {', '.join(sorted(SPEC_GENERATORS))})"
+        )
+    declared_dtype, _ = SPEC_GENERATORS[generator]
+    dtype = payload.get("dtype", declared_dtype)
+    if dtype not in DTYPES:
+        raise SpecError(f"{where}: unknown dtype {dtype!r} (expected one of {DTYPES})")
+    if dtype != declared_dtype:
+        raise SpecError(
+            f"{where}: generator {generator!r} produces dtype "
+            f"{declared_dtype!r}, but the column declares {dtype!r}"
+        )
+    label = payload.get("label")
+    if label is not None and not is_semantic_type(label):
+        raise SpecError(f"{where}: label {label!r} is not a known semantic type")
+    params = dict(payload.get("params") or {})
+    if generator == "semantic":
+        semantic = params.get("type")
+        if not semantic or not is_semantic_type(semantic):
+            raise SpecError(
+                f"{where}: semantic generator needs params.type set to a "
+                f"known semantic type (got {semantic!r})"
+            )
+    if generator == "choice" and not params.get("values"):
+        raise SpecError(f"{where}: choice generator needs non-empty params.values")
+    if generator == "mixed":
+        parts = params.get("parts") or []
+        if not parts:
+            raise SpecError(f"{where}: mixed generator needs non-empty params.parts")
+        for part in parts:
+            inner = part.get("generator")
+            if inner not in SPEC_GENERATORS or inner == "mixed":
+                raise SpecError(f"{where}: mixed part has invalid generator {inner!r}")
+    if generator == "unicode_text":
+        for script in params.get("scripts", []):
+            if script not in SCRIPT_POOLS:
+                raise SpecError(
+                    f"{where}: unknown script {script!r} "
+                    f"(available: {', '.join(sorted(SCRIPT_POOLS))})"
+                )
+    transforms = []
+    for transform in payload.get("transforms") or []:
+        transform_name = _require(transform, "name", f"{where}.transforms")
+        if transform_name not in SPEC_TRANSFORMS:
+            raise SpecError(
+                f"{where}: unknown transform {transform_name!r} "
+                f"(registered: {', '.join(sorted(SPEC_TRANSFORMS))})"
+            )
+        transforms.append((transform_name, dict(transform.get("params") or {})))
+    missing_rate = float(payload.get("missing_rate", 0.0))
+    if not 0.0 <= missing_rate < 1.0:
+        raise SpecError(f"{where}: missing_rate must be in [0, 1)")
+    return ColumnSpec(
+        name=str(name),
+        dtype=dtype,
+        generator=generator,
+        params=params,
+        label=label,
+        transforms=tuple(transforms),
+        missing_rate=missing_rate,
+    )
+
+
+def _parse_scd(payload: dict | None, columns: Sequence[ColumnSpec], where: str):
+    if payload is None:
+        return None
+    known = {column.name for column in columns}
+    key_columns = tuple(payload.get("key_columns") or ())
+    changing_columns = tuple(payload.get("changing_columns") or ())
+    for column in (*key_columns, *changing_columns):
+        if column not in known:
+            raise SpecError(f"{where}.scd references unknown column {column!r}")
+    if not changing_columns:
+        raise SpecError(f"{where}.scd needs non-empty changing_columns")
+    versions = int(payload.get("versions", 3))
+    if versions < 2:
+        raise SpecError(f"{where}.scd.versions must be >= 2")
+    change_rate = float(payload.get("change_rate", 0.3))
+    if not 0.0 < change_rate <= 1.0:
+        raise SpecError(f"{where}.scd.change_rate must be in (0, 1]")
+    return ScdSpec(
+        versions=versions,
+        change_rate=change_rate,
+        key_columns=key_columns,
+        changing_columns=changing_columns,
+        valid_from_column=str(payload.get("valid_from_column", "validFrom")),
+        start_year=int(payload.get("start_year", 2015)),
+    )
+
+
+def _parse_table(payload: dict, where: str) -> TableSpec:
+    name = _require(payload, "name", where)
+    where = f"{where}.{name}"
+    raw_columns = _require(payload, "columns", where)
+    if not raw_columns:
+        raise SpecError(f"{where}: needs at least one column")
+    columns = tuple(_parse_column(c, where) for c in raw_columns)
+    names = [column.name for column in columns]
+    if len(set(names)) != len(names):
+        raise SpecError(f"{where}: duplicate column names")
+    count = int(payload.get("count", 1))
+    if count <= 0:
+        raise SpecError(f"{where}: count must be positive")
+    return TableSpec(
+        name=str(name),
+        columns=columns,
+        count=count,
+        rows=_parse_rows(payload.get("rows"), where),
+        scd=_parse_scd(payload.get("scd"), columns, where),
+    )
+
+
+def parse_spec(payload: dict) -> CorpusSpec:
+    """Validate a spec payload and return the typed :class:`CorpusSpec`."""
+    if not isinstance(payload, dict):
+        raise SpecError(f"spec must be an object, got {type(payload).__name__}")
+    name = _require(payload, "name", "spec")
+    raw_tables = _require(payload, "tables", f"spec {name}")
+    if not raw_tables:
+        raise SpecError(f"spec {name}: needs at least one table spec")
+    tables = tuple(_parse_table(t, f"spec {name}") for t in raw_tables)
+    table_names = [table.name for table in tables]
+    if len(set(table_names)) != len(table_names):
+        raise SpecError(f"spec {name}: duplicate table spec names")
+    split_payload = payload.get("split") or {}
+    test_fraction = float(split_payload.get("test_fraction", 0.5))
+    if not 0.0 <= test_fraction <= 1.0:
+        raise SpecError(f"spec {name}: split.test_fraction must be in [0, 1]")
+    return CorpusSpec(
+        name=str(name),
+        seed=int(_require(payload, "seed", f"spec {name}")),
+        tables=tables,
+        description=str(payload.get("description", "")),
+        difficulty=dict(payload.get("difficulty") or {}),
+        split=SplitSpec(
+            test_fraction=test_fraction,
+            seed=int(split_payload.get("seed", 0)),
+        ),
+        version=int(payload.get("version", 1)),
+    )
+
+
+def load_spec(path: str | Path) -> CorpusSpec:
+    """Load a spec file (``.json`` always; ``.yaml``/``.yml`` if PyYAML is
+    importable — YAML support is gated so the core has zero extra deps)."""
+    path = Path(path)
+    text = path.read_text(encoding="utf-8")
+    if path.suffix in (".yaml", ".yml"):
+        try:
+            import yaml
+        except ImportError as error:  # pragma: no cover - env-dependent
+            raise SpecError(
+                f"cannot load {path}: YAML specs need PyYAML installed; "
+                "re-save the spec as JSON to avoid the dependency"
+            ) from error
+        payload = yaml.safe_load(text)
+    else:
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise SpecError(f"cannot parse {path}: {error}") from None
+    return parse_spec(payload)
+
+
+# --------------------------------------------------------------------------
+# Building
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class CorpusBundle:
+    """The deterministic output of one spec build."""
+
+    spec: CorpusSpec
+    tables: list[Table]
+    #: table_id -> "train" | "test"; part of the determinism contract.
+    split: dict[str, str]
+
+    @property
+    def train_tables(self) -> list[Table]:
+        return [t for t in self.tables if self.split[t.table_id] == "train"]
+
+    @property
+    def test_tables(self) -> list[Table]:
+        return [t for t in self.tables if self.split[t.table_id] == "test"]
+
+
+def _generate_cell(column: ColumnSpec, rng: SpecRNG, ctx: RowContext) -> str:
+    if column.missing_rate and rng.random() < column.missing_rate:
+        return ""
+    _, fn = SPEC_GENERATORS[column.generator]
+    value = fn(rng, column.params, ctx)
+    for transform_name, transform_params in column.transforms:
+        value = SPEC_TRANSFORMS[transform_name](value, rng, transform_params)
+    return value
+
+
+def _build_rows(
+    table_spec: TableSpec, n_rows: int, rng: SpecRNG
+) -> list[dict[str, str]]:
+    rows = []
+    for _ in range(n_rows):
+        ctx: RowContext = {}
+        # Pre-seed shared entities so coordinated semantic columns (name /
+        # birthPlace / city / country ...) stay row-coherent, exactly like
+        # the seed-era table generator.
+        semantic_types = {
+            column.params.get("type")
+            for column in table_spec.columns
+            if column.generator == "semantic"
+        }
+        if semantic_types & _PERSON_TYPES:
+            ctx["person"] = make_person(rng.np)
+        if semantic_types & _PLACE_TYPES:
+            ctx["place"] = make_place(rng.np)
+        rows.append(
+            {c.name: _generate_cell(c, rng, ctx) for c in table_spec.columns}
+        )
+    return rows
+
+
+def _rows_to_table(
+    table_spec: TableSpec,
+    rows: list[dict[str, str]],
+    table_id: str,
+    metadata: dict,
+) -> Table:
+    columns = [
+        Column(
+            values=[row[column.name] for row in rows],
+            header=column.name,
+            semantic_type=column.label,
+        )
+        for column in table_spec.columns
+    ]
+    return Table(columns=columns, table_id=table_id, metadata=metadata)
+
+
+def _build_scd_versions(
+    table_spec: TableSpec,
+    base_rows: list[dict[str, str]],
+    table_id: str,
+    rng: SpecRNG,
+) -> list[Table]:
+    """Emit SCD2-style re-versions: stable keys, mutating tracked columns."""
+    scd = table_spec.scd
+    assert scd is not None
+    changing = {c.name: c for c in table_spec.columns if c.name in scd.changing_columns}
+    tables = []
+    rows = base_rows
+    for version in range(scd.versions):
+        if version > 0:
+            next_rows = []
+            for row_index, row in enumerate(rows):
+                row = dict(row)
+                row_rng = rng.child("scd", version, row_index)
+                for name, column in changing.items():
+                    if row_rng.random() < scd.change_rate:
+                        row[name] = _generate_cell(column, row_rng, {})
+                next_rows.append(row)
+            rows = next_rows
+        stamped = [
+            {**row, scd.valid_from_column: str(scd.start_year + version)}
+            for row in rows
+        ]
+        stamped_spec = TableSpec(
+            name=table_spec.name,
+            columns=(
+                *table_spec.columns,
+                ColumnSpec(
+                    name=scd.valid_from_column,
+                    dtype="date",
+                    generator="date",
+                    label="year",
+                ),
+            ),
+            count=table_spec.count,
+            rows=table_spec.rows,
+        )
+        tables.append(
+            _rows_to_table(
+                stamped_spec,
+                stamped,
+                f"{table_id}@v{version + 1}",
+                {
+                    "spec_table": table_spec.name,
+                    "scd_version": version + 1,
+                    "scd_key_columns": list(scd.key_columns),
+                },
+            )
+        )
+    return tables
+
+
+def build_corpus(spec: CorpusSpec) -> CorpusBundle:
+    """Materialise a spec into labelled tables plus split assignment.
+
+    Determinism contract: same spec dict + same seed => bit-identical
+    tables, labels, table ids, metadata and split assignment, regardless of
+    process, platform or the order other specs were built in.
+    """
+    tables: list[Table] = []
+    root = SpecRNG(spec.seed, spec.name)
+    for table_spec in spec.tables:
+        for index in range(table_spec.count):
+            table_rng = root.child(table_spec.name, index)
+            n_rows = table_spec.rows.sample(table_rng)
+            rows = _build_rows(table_spec, n_rows, table_rng)
+            table_id = f"{spec.name}/{table_spec.name}/{index:04d}"
+            if table_spec.scd is not None:
+                tables.extend(
+                    _build_scd_versions(table_spec, rows, table_id, table_rng)
+                )
+            else:
+                tables.append(
+                    _rows_to_table(
+                        table_spec,
+                        rows,
+                        table_id,
+                        {"spec_table": table_spec.name, "n_rows": n_rows},
+                    )
+                )
+    split: dict[str, str] = {}
+    for table in tables:
+        split_rng = SpecRNG(spec.split.seed, spec.name, "split", table.table_id)
+        is_test = split_rng.random() < spec.split.test_fraction
+        split[table.table_id] = "test" if is_test else "train"
+    return CorpusBundle(spec=spec, tables=tables, split=split)

@@ -1,0 +1,143 @@
+"""Hard-case evaluation suites: discovery, presets, manifests.
+
+A *suite* is a shipped corpus spec file under ``specs/`` that
+mass-produces one family of adversarial tables the paper's WebTables-style
+evaluation never covered: unicode-heavy values, dirty and mixed-type
+columns, near-ambiguous type pairs, wide tables, skewed row counts,
+SCD-style temporal re-versions.  Each spec carries a ``difficulty``
+manifest (expected hardness, the axes it stresses, and a suggested
+promotion-gate floor) so gate configurations are reviewable alongside the
+data they gate on.
+
+Suites are wired into two consumers:
+
+* ``repro-sato evaluate --suite <name>`` — per-suite macro-F1 for a model
+  bundle (:mod:`repro.evaluation.suites`),
+* ``repro-sato registry promote --gate --suite <name>[:floor]`` — per-suite
+  minimum-F1 / no-regression-vs-incumbent promotion criteria
+  (:mod:`repro.registry.gates`).
+
+Resolution order for the specs directory: the ``REPRO_SPECS_DIR``
+environment variable, else ``<repo root>/specs`` relative to this package
+(the src layout the repo and CI use).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import replace
+from pathlib import Path
+
+from repro.corpus.spec import CorpusBundle, CorpusSpec, build_corpus, load_spec
+
+__all__ = [
+    "SPECS_DIR_ENV",
+    "SUITE_PRESETS",
+    "available_suites",
+    "build_suite",
+    "load_suite_spec",
+    "scale_spec",
+    "specs_dir",
+    "suite_manifest",
+]
+
+#: Environment override for the specs directory.
+SPECS_DIR_ENV = "REPRO_SPECS_DIR"
+
+#: Named size presets: ``count_scale`` multiplies every table spec's count
+#: (rounded up, never below 1), ``max_rows_cap`` bounds sampled row counts.
+#: ``tiny`` is what CI and the promotion gates use; ``full`` is the spec
+#: as written.
+SUITE_PRESETS: dict[str, dict] = {
+    "full": {"count_scale": 1.0, "max_rows_cap": None},
+    "tiny": {"count_scale": 0.34, "max_rows_cap": 10},
+}
+
+
+def specs_dir() -> Path:
+    """The directory holding the shipped suite spec files."""
+    override = os.environ.get(SPECS_DIR_ENV)
+    if override:
+        return Path(override)
+    # src/repro/corpus/suites.py -> repo root is three parents above src/.
+    return Path(__file__).resolve().parents[3] / "specs"
+
+
+def available_suites() -> dict[str, Path]:
+    """Mapping of suite name -> spec file path, sorted by name."""
+    directory = specs_dir()
+    if not directory.is_dir():
+        return {}
+    suites = {}
+    for path in sorted(directory.iterdir()):
+        if path.suffix in (".json", ".yaml", ".yml") and path.is_file():
+            suites[path.stem] = path
+    return suites
+
+
+def load_suite_spec(name: str) -> CorpusSpec:
+    """Load one shipped suite spec by name (raises on unknown names)."""
+    suites = available_suites()
+    if name not in suites:
+        known = ", ".join(sorted(suites)) or "none found"
+        raise KeyError(
+            f"unknown suite {name!r} (available under {specs_dir()}: {known})"
+        )
+    return load_spec(suites[name])
+
+
+def scale_spec(spec: CorpusSpec, preset: str) -> CorpusSpec:
+    """Apply a size preset to a spec (a pure, deterministic rewrite).
+
+    The scaled spec keeps the same seed and structure, so a preset is part
+    of the determinism contract: ``(spec, preset)`` fully determines the
+    corpus.
+    """
+    if preset not in SUITE_PRESETS:
+        raise KeyError(
+            f"unknown preset {preset!r} (available: {', '.join(sorted(SUITE_PRESETS))})"
+        )
+    policy = SUITE_PRESETS[preset]
+    scale = float(policy["count_scale"])
+    cap = policy["max_rows_cap"]
+    if scale == 1.0 and cap is None:
+        return spec
+    tables = []
+    for table_spec in spec.tables:
+        rows = table_spec.rows
+        if cap is not None:
+            if rows.choices is not None:
+                capped = tuple(min(c, cap) for c in rows.choices)
+                rows = replace(rows, choices=capped)
+            else:
+                rows = replace(
+                    rows,
+                    min_rows=min(rows.min_rows, cap),
+                    max_rows=min(rows.max_rows, cap),
+                )
+        tables.append(
+            replace(
+                table_spec,
+                count=max(1, math.ceil(table_spec.count * scale)),
+                rows=rows,
+            )
+        )
+    return replace(spec, tables=tuple(tables))
+
+
+def build_suite(name: str, preset: str = "full") -> CorpusBundle:
+    """Build a suite corpus deterministically at the given preset size."""
+    return build_corpus(scale_spec(load_suite_spec(name), preset))
+
+
+def suite_manifest(name: str) -> dict:
+    """The suite's difficulty manifest plus basic identity fields."""
+    spec = load_suite_spec(name)
+    return {
+        "name": spec.name,
+        "description": spec.description,
+        "difficulty": dict(spec.difficulty),
+        "n_table_specs": len(spec.tables),
+        "seed": spec.seed,
+    }

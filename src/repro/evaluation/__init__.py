@@ -23,8 +23,12 @@ from repro.evaluation.timing import TimingResult, time_model
 from repro.evaluation.tsne import pca_project, tsne_project
 from repro.evaluation.embeddings import collect_column_embeddings, cluster_separation
 from repro.evaluation.qualitative import CorrectionExample, find_corrections
+from repro.evaluation.suites import SuiteReport, evaluate_suite, evaluate_suites
 
 __all__ = [
+    "SuiteReport",
+    "evaluate_suite",
+    "evaluate_suites",
     "ClassificationReport",
     "TypeMetrics",
     "classification_report",

@@ -1,0 +1,83 @@
+"""Per-suite evaluation: one macro-F1 number per hard-case scenario.
+
+``repro-sato evaluate --suite <name>`` and the per-suite promotion gates
+both run through :func:`evaluate_suite`, so the CLI report and the gate
+decision can never disagree about what a suite's score means.  A suite is
+built deterministically from its spec (same seed => bit-identical tables),
+so two evaluations of the same bundle at the same preset produce the same
+number on any machine — suite scores are reproducible evidence, not
+samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.corpus.suites import available_suites, build_suite, load_suite_spec
+from repro.evaluation.metrics import classification_report
+
+__all__ = ["SuiteReport", "evaluate_suite", "evaluate_suites"]
+
+
+@dataclass
+class SuiteReport:
+    """Scores of one predictor on one suite (JSON-ready via to_dict)."""
+
+    suite: str
+    preset: str
+    macro_f1: float
+    weighted_f1: float
+    accuracy: float
+    n_tables: int
+    n_columns: int
+    difficulty: dict
+
+    def to_dict(self) -> dict:
+        return {
+            "suite": self.suite,
+            "preset": self.preset,
+            "macro_f1": self.macro_f1,
+            "weighted_f1": self.weighted_f1,
+            "accuracy": self.accuracy,
+            "n_tables": self.n_tables,
+            "n_columns": self.n_columns,
+            "difficulty": dict(self.difficulty),
+        }
+
+
+def evaluate_suite(predictor, name: str, preset: str = "tiny") -> SuiteReport:
+    """Score a predictor on one suite (the whole suite is the eval set).
+
+    ``predictor`` needs only ``predict_tables`` — the same duck type the
+    promotion gates use, so bundles, registry versions and fleets all work.
+    """
+    spec = load_suite_spec(name)
+    bundle = build_suite(name, preset)
+    predictions = predictor.predict_tables(bundle.tables)
+    y_true: list[str] = []
+    y_pred: list[str] = []
+    for table, labels in zip(bundle.tables, predictions):
+        for column, label in zip(table.columns, labels):
+            if column.semantic_type is not None:
+                y_true.append(column.semantic_type)
+                y_pred.append(label)
+    report = classification_report(y_true, y_pred)
+    return SuiteReport(
+        suite=name,
+        preset=preset,
+        macro_f1=report.macro_f1,
+        weighted_f1=report.weighted_f1,
+        accuracy=report.accuracy,
+        n_tables=len(bundle.tables),
+        n_columns=len(y_true),
+        difficulty=dict(spec.difficulty),
+    )
+
+
+def evaluate_suites(
+    predictor, names: list[str] | None = None, preset: str = "tiny"
+) -> dict[str, SuiteReport]:
+    """Score a predictor on several suites (default: every shipped suite)."""
+    if names is None:
+        names = sorted(available_suites())
+    return {name: evaluate_suite(predictor, name, preset) for name in names}

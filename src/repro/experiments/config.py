@@ -11,7 +11,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.registry.gates import DEFAULT_GATE_MIN_AGREEMENT, DEFAULT_GATE_MIN_F1
+from repro.registry.gates import (
+    DEFAULT_GATE_MIN_AGREEMENT,
+    DEFAULT_GATE_MIN_F1,
+    DEFAULT_SUITE_REGRESSION_TOLERANCE,
+)
 from repro.registry.watch import DEFAULT_WATCH_INTERVAL
 from repro.serving.scheduler import (
     DEFAULT_MAX_BATCH_SIZE,
@@ -58,6 +62,11 @@ class ExperimentConfig:
     serve_shadow_fraction: float = 0.1
     gate_min_macro_f1: float = DEFAULT_GATE_MIN_F1
     gate_min_agreement: float = DEFAULT_GATE_MIN_AGREEMENT
+    # Per-suite promotion criteria (hard-case eval suites; docs/corpus_spec.md).
+    # Empty tuple = no suite gates; names match specs/<name>.json.
+    gate_suites: tuple = ()
+    gate_suite_preset: str = "tiny"
+    gate_suite_tolerance: float = DEFAULT_SUITE_REGRESSION_TOLERANCE
 
     # Topic model
     n_topics: int = 24

@@ -24,6 +24,7 @@ gates, and the rollback runbook.
 
 from repro.registry.store import (
     CURRENT_NAME,
+    GATE_LOG_NAME,
     VERSION_MANIFEST_NAME,
     ModelRegistry,
     RegistryError,
@@ -34,16 +35,23 @@ from repro.registry.shadow import ShadowEvaluator
 from repro.registry.gates import (
     DEFAULT_GATE_MIN_AGREEMENT,
     DEFAULT_GATE_MIN_F1,
+    DEFAULT_SUITE_GATE_MIN_F1,
+    DEFAULT_SUITE_REGRESSION_TOLERANCE,
     GateResult,
+    SuiteGate,
+    SuiteGateResult,
     holdout_report,
     load_eval_tables,
+    parse_suite_gate,
     replay_agreement,
     run_gate,
+    run_suite_gates,
 )
 from repro.registry.watch import DEFAULT_WATCH_INTERVAL, RegistryWatcher
 
 __all__ = [
     "CURRENT_NAME",
+    "GATE_LOG_NAME",
     "VERSION_MANIFEST_NAME",
     "ModelRegistry",
     "RegistryError",
@@ -52,11 +60,17 @@ __all__ = [
     "ShadowEvaluator",
     "DEFAULT_GATE_MIN_AGREEMENT",
     "DEFAULT_GATE_MIN_F1",
+    "DEFAULT_SUITE_GATE_MIN_F1",
+    "DEFAULT_SUITE_REGRESSION_TOLERANCE",
     "DEFAULT_WATCH_INTERVAL",
     "GateResult",
+    "SuiteGate",
+    "SuiteGateResult",
     "holdout_report",
     "load_eval_tables",
+    "parse_suite_gate",
     "replay_agreement",
     "run_gate",
+    "run_suite_gates",
     "RegistryWatcher",
 ]

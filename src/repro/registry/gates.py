@@ -27,11 +27,17 @@ from repro.tables import Table, tables_from_jsonl
 __all__ = [
     "DEFAULT_GATE_MIN_AGREEMENT",
     "DEFAULT_GATE_MIN_F1",
+    "DEFAULT_SUITE_GATE_MIN_F1",
+    "DEFAULT_SUITE_REGRESSION_TOLERANCE",
     "GateResult",
+    "SuiteGate",
+    "SuiteGateResult",
     "holdout_report",
     "load_eval_tables",
+    "parse_suite_gate",
     "replay_agreement",
     "run_gate",
+    "run_suite_gates",
 ]
 
 #: Default promotion-gate thresholds, shared by the CLI and
@@ -41,6 +47,18 @@ __all__ = [
 #: their own via ``promote --min-f1/--min-agreement``.
 DEFAULT_GATE_MIN_F1 = 0.5
 DEFAULT_GATE_MIN_AGREEMENT = 0.85
+
+#: Absolute per-suite floor used when neither the gate configuration nor
+#: the suite spec's ``difficulty.suggested_floor`` names one.  Deliberately
+#: near zero: the useful per-suite criterion is usually the
+#: no-regression-vs-incumbent check; explicit floors are a policy choice.
+DEFAULT_SUITE_GATE_MIN_F1 = 0.02
+
+#: How far a candidate's per-suite macro-F1 may fall below the incumbent's
+#: before the promotion is refused.  The tiny suite presets make F1 exactly
+#: reproducible (deterministic corpora, deterministic inference), so the
+#: tolerance absorbs genuine model-to-model variation only.
+DEFAULT_SUITE_REGRESSION_TOLERANCE = 0.05
 
 
 def load_eval_tables(path, labeled_only: bool = True) -> list[Table]:
@@ -93,6 +111,123 @@ def replay_agreement(candidate, incumbent, tables: list[Table]) -> float:
     return agreed / compared if compared else 1.0
 
 
+@dataclass(frozen=True)
+class SuiteGate:
+    """One configured per-suite promotion criterion.
+
+    ``min_f1`` of ``None`` defers to the suite spec's
+    ``difficulty.suggested_floor`` (falling back to
+    :data:`DEFAULT_SUITE_GATE_MIN_F1`), so shipped suites carry their own
+    review-able default policy.
+    """
+
+    suite: str
+    min_f1: float | None = None
+
+
+def parse_suite_gate(text: str) -> SuiteGate:
+    """Parse the CLI form ``name`` or ``name:0.25`` into a :class:`SuiteGate`."""
+    suite, separator, floor = text.partition(":")
+    if not suite:
+        raise ValueError(f"--suite expects NAME or NAME:MIN_F1, got {text!r}")
+    if not separator:
+        return SuiteGate(suite=suite)
+    try:
+        return SuiteGate(suite=suite, min_f1=float(floor))
+    except ValueError:
+        raise ValueError(
+            f"--suite expects NAME or NAME:MIN_F1, got {text!r}"
+        ) from None
+
+
+@dataclass
+class SuiteGateResult:
+    """Outcome of one per-suite criterion (part of the gate evidence)."""
+
+    suite: str
+    preset: str
+    macro_f1: float
+    min_f1: float
+    incumbent_f1: float | None
+    tolerance: float
+    passed: bool
+    n_columns: int
+    reasons: list[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "suite": self.suite,
+            "preset": self.preset,
+            "macro_f1": self.macro_f1,
+            "min_f1": self.min_f1,
+            "incumbent_f1": self.incumbent_f1,
+            "tolerance": self.tolerance,
+            "passed": self.passed,
+            "n_columns": self.n_columns,
+            "reasons": list(self.reasons),
+        }
+
+
+def run_suite_gates(
+    candidate,
+    suite_gates: list[SuiteGate],
+    incumbent=None,
+    preset: str = "tiny",
+    tolerance: float = DEFAULT_SUITE_REGRESSION_TOLERANCE,
+) -> list[SuiteGateResult]:
+    """Evaluate every configured per-suite criterion.
+
+    Each suite imposes two conditions on the candidate's macro-F1 over the
+    deterministically built suite corpus:
+
+    * **absolute floor** — at least the gate's ``min_f1`` (or the suite's
+      suggested floor),
+    * **no regression** — when an incumbent predictor is given, at least
+      ``incumbent_f1 - tolerance``: "handles more scenarios" must never
+      silently become "handles fewer".
+    """
+    from repro.corpus.suites import load_suite_spec
+    from repro.evaluation.suites import evaluate_suite
+
+    results: list[SuiteGateResult] = []
+    for gate in suite_gates:
+        spec = load_suite_spec(gate.suite)
+        min_f1 = gate.min_f1
+        if min_f1 is None:
+            min_f1 = float(
+                spec.difficulty.get("suggested_floor", DEFAULT_SUITE_GATE_MIN_F1)
+            )
+        report = evaluate_suite(candidate, gate.suite, preset)
+        incumbent_f1 = None
+        if incumbent is not None:
+            incumbent_f1 = evaluate_suite(incumbent, gate.suite, preset).macro_f1
+        reasons: list[str] = []
+        if report.macro_f1 < min_f1:
+            reasons.append(
+                f"suite {gate.suite}: macro-F1 {report.macro_f1:.3f} below "
+                f"floor {min_f1:.3f}"
+            )
+        if incumbent_f1 is not None and report.macro_f1 < incumbent_f1 - tolerance:
+            reasons.append(
+                f"suite {gate.suite}: macro-F1 {report.macro_f1:.3f} regressed "
+                f"vs incumbent {incumbent_f1:.3f} (tolerance {tolerance:.3f})"
+            )
+        results.append(
+            SuiteGateResult(
+                suite=gate.suite,
+                preset=preset,
+                macro_f1=report.macro_f1,
+                min_f1=min_f1,
+                incumbent_f1=incumbent_f1,
+                tolerance=tolerance,
+                passed=not reasons,
+                n_columns=report.n_columns,
+                reasons=reasons,
+            )
+        )
+    return results
+
+
 @dataclass
 class GateResult:
     """Outcome of a gated promotion check (recorded with the promotion)."""
@@ -105,6 +240,7 @@ class GateResult:
     min_agreement: float
     n_eval_tables: int
     reasons: list[str] = field(default_factory=list)
+    suites: list[SuiteGateResult] = field(default_factory=list)
 
     def to_dict(self) -> dict:
         return {
@@ -116,6 +252,7 @@ class GateResult:
             "min_agreement": self.min_agreement,
             "n_eval_tables": self.n_eval_tables,
             "reasons": list(self.reasons),
+            "suites": [suite.to_dict() for suite in self.suites],
         }
 
 
@@ -126,13 +263,20 @@ def run_gate(
     min_agreement: float,
     incumbent=None,
     shadow_agreement: float | None = None,
+    suite_gates: list[SuiteGate] | None = None,
+    suite_preset: str = "tiny",
+    suite_tolerance: float = DEFAULT_SUITE_REGRESSION_TOLERANCE,
 ) -> GateResult:
     """Evaluate every promotion gate for a candidate predictor.
 
     ``incumbent`` (the currently promoted version's predictor) enables the
-    replay-agreement gate; ``shadow_agreement`` — an agreement rate already
-    measured on live traffic — takes precedence over the replay when
-    given.  With neither, only the F1 gate applies (first promotion).
+    replay-agreement gate and the per-suite no-regression checks;
+    ``shadow_agreement`` — an agreement rate already measured on live
+    traffic — takes precedence over the replay when given.  With neither,
+    only the F1 gate (plus any ``suite_gates`` floors) applies (first
+    promotion).  ``suite_gates`` adds one hard-case scenario criterion per
+    entry (see :func:`run_suite_gates`); every configured suite must pass
+    for the promotion to pass.
     """
     report = holdout_report(candidate, eval_tables)
     agreement: float | None = shadow_agreement
@@ -148,6 +292,17 @@ def run_gate(
         reasons.append(
             f"agreement {agreement:.3f} below gate {min_agreement:.3f}"
         )
+    suites: list[SuiteGateResult] = []
+    if suite_gates:
+        suites = run_suite_gates(
+            candidate,
+            suite_gates,
+            incumbent=incumbent,
+            preset=suite_preset,
+            tolerance=suite_tolerance,
+        )
+        for suite in suites:
+            reasons.extend(suite.reasons)
     return GateResult(
         passed=not reasons,
         macro_f1=report.macro_f1,
@@ -157,4 +312,5 @@ def run_gate(
         min_agreement=min_agreement,
         n_eval_tables=len(eval_tables),
         reasons=reasons,
+        suites=suites,
     )

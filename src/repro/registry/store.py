@@ -49,6 +49,7 @@ from repro.serving.bundle import (
 
 __all__ = [
     "CURRENT_NAME",
+    "GATE_LOG_NAME",
     "VERSION_MANIFEST_NAME",
     "ModelRegistry",
     "RegistryError",
@@ -58,6 +59,13 @@ __all__ = [
 
 #: The promotion pointer file inside every model directory.
 CURRENT_NAME = "CURRENT.json"
+
+#: Append-only log of gate decisions inside every model directory.  The
+#: promotion pointer only ever carries the *winning* gate evidence; this
+#: log additionally preserves refused attempts (a failed gate aborts the
+#: promote before the pointer is touched), so "why didn't v0007 ship?" has
+#: an on-disk answer.
+GATE_LOG_NAME = "GATE_LOG.json"
 
 #: The per-version lineage record inside every version directory.
 VERSION_MANIFEST_NAME = "version.json"
@@ -408,6 +416,7 @@ class ModelRegistry:
                     "version": payload["version"],
                     "fingerprint": payload.get("fingerprint"),
                     "promoted_at": payload.get("promoted_at"),
+                    "gate": payload.get("gate"),
                 }
             )
         _atomic_write_json(
@@ -452,6 +461,39 @@ class ModelRegistry:
             },
         )
         return info
+
+    # ------------------------------------------------------------ gate log
+
+    def record_gate(self, name: str, version: str, gate: dict) -> None:
+        """Append one gate decision to the model's ``GATE_LOG.json``.
+
+        Called by the CLI for *every* gated promotion attempt, pass or
+        fail, so refused candidates leave evidence even though a failed
+        gate aborts before :meth:`promote` runs.  The write is the same
+        atomic replace as the promotion pointer.
+        """
+        directory = self.model_dir(name)
+        directory.mkdir(parents=True, exist_ok=True)
+        entries = self.gate_log(name)
+        entries.append(
+            {
+                "version": version,
+                "recorded_at": time.time(),
+                "gate": gate,
+            }
+        )
+        _atomic_write_json(directory / GATE_LOG_NAME, {"entries": entries})
+
+    def gate_log(self, name: str) -> list[dict]:
+        """Every recorded gate decision for a model, oldest first."""
+        path = self.model_dir(name) / GATE_LOG_NAME
+        if not path.is_file():
+            return []
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as error:
+            raise RegistryError(f"corrupt {GATE_LOG_NAME} for {name}: {error}")
+        return list(payload.get("entries") or [])
 
     # -------------------------------------------------------------- loading
 

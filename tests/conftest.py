@@ -82,6 +82,22 @@ def fitted_variant(request, serving_split):
 
 
 @pytest.fixture(scope="session")
+def hard_case_tables():
+    """Adversarial tables from the shipped hard-case suites (tiny preset).
+
+    Unicode-heavy values (non-BMP, combining marks, RTL) plus dirty and
+    mixed-type columns — the inputs where a vectorized or batched backend
+    is most likely to drift from its reference loop.
+    """
+    from repro.corpus.suites import build_suite
+
+    tables = []
+    for name in ("unicode_heavy", "dirty_columns"):
+        tables.extend(build_suite(name, "tiny").tables)
+    return tables
+
+
+@pytest.fixture(scope="session")
 def trained_sato(train_test_tables):
     train, _ = train_test_tables
     model = make_tiny_model(use_topic=True, use_struct=True)

@@ -183,6 +183,33 @@ class TestEndToEndParity:
         assert trained_sato.model_backend in MODEL_BACKENDS
 
 
+class TestHardCaseSuiteParity:
+    """Loop vs batched labels on the shipped adversarial suites.
+
+    Unicode-heavy and dirty-column tables stress padding, masking and the
+    featurizer -> unary pipeline with hostile values; the batched backend
+    must still decode labels bit-identical to the per-table loop.
+    """
+
+    def test_batched_matches_loop_on_hard_cases(self, trained_sato, hard_case_tables):
+        loop = [trained_sato.predict_table(t) for t in hard_case_tables]
+        assert (
+            trained_sato.set_model_backend("loop").predict_tables(hard_case_tables)
+            == loop
+        )
+        trained_sato.set_model_backend("batched")
+        assert trained_sato.predict_tables(hard_case_tables) == loop
+
+    def test_predictor_backends_agree_on_hard_cases(
+        self, trained_sato, hard_case_tables
+    ):
+        loop = Predictor(trained_sato, model_backend="loop")
+        batched = Predictor(trained_sato, model_backend="batched")
+        assert loop.predict_tables(hard_case_tables) == batched.predict_tables(
+            hard_case_tables
+        )
+
+
 class TestPredictorBackends:
     def test_predictor_backends_agree(self, trained_sato, serving_split):
         _, test = serving_split

@@ -1,5 +1,7 @@
 """Tests for the command line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -99,6 +101,50 @@ class TestParser:
         )
         assert args.model == "bundle/" and args.corpus == "eval.jsonl"
 
+    def test_generate_spec_args(self):
+        args = build_parser().parse_args(
+            ["generate", "--spec", "specs/unicode_heavy.json",
+             "--out", "x.jsonl", "--split-out", "x.split.json"]
+        )
+        assert args.spec == "specs/unicode_heavy.json"
+        assert args.split_out == "x.split.json"
+
+    def test_evaluate_suite_args(self):
+        args = build_parser().parse_args(
+            ["evaluate", "--model", "bundle/", "--suite", "all",
+             "--suite-preset", "full", "--json", "out.json"]
+        )
+        assert args.suite == "all" and args.suite_preset == "full"
+        assert args.json_out == "out.json"
+        assert args.corpus is None  # --corpus is optional in suite mode
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["evaluate", "--model", "b/", "--suite", "all",
+                 "--suite-preset", "huge"]
+            )
+
+    def test_suites_args(self):
+        args = build_parser().parse_args(["suites", "--json"])
+        assert args.command == "suites" and args.json_out
+        assert not build_parser().parse_args(["suites"]).json_out
+
+    def test_promote_suite_gate_args(self):
+        args = build_parser().parse_args(
+            ["registry", "promote", "--registry", "reg/", "--name", "sato",
+             "--version", "v0002", "--gate", "--eval-set", "eval.jsonl",
+             "--suite", "unicode_heavy", "--suite", "dirty_columns:0.1",
+             "--suite-preset", "tiny", "--suite-tolerance", "0.02"]
+        )
+        assert args.suite == ["unicode_heavy", "dirty_columns:0.1"]
+        assert args.suite_preset == "tiny"
+        assert args.suite_tolerance == 0.02
+        # Default: no suite gates configured.
+        bare = build_parser().parse_args(
+            ["registry", "promote", "--registry", "reg/", "--name", "sato",
+             "--version", "v0002"]
+        )
+        assert bare.suite == []
+
 
 class TestCommands:
     def test_generate_writes_corpus(self, tmp_path, capsys):
@@ -181,6 +227,135 @@ class TestCommands:
         assert main(["registry", "list", "--registry", registry]) == 0
         listing = capsys.readouterr().out
         assert "* v0001" in listing and "v0002" not in listing
+
+    def test_generate_from_spec_is_deterministic(self, tmp_path, capsys):
+        first = tmp_path / "first.jsonl"
+        second = tmp_path / "second.jsonl"
+        split_path = tmp_path / "split.json"
+        assert main(["generate", "--spec", "specs/clean_baseline.json",
+                     "--out", str(first), "--split-out", str(split_path)]) == 0
+        assert main(["generate", "--spec", "specs/clean_baseline.json",
+                     "--out", str(second)]) == 0
+        assert first.read_text() == second.read_text()
+        assert "spec clean_baseline" in capsys.readouterr().out
+        split = json.loads(split_path.read_text())
+        tables = tables_from_jsonl(first)
+        assert sorted(split) == sorted(t.table_id for t in tables)
+        assert set(split.values()) <= {"train", "test"}
+
+    def test_generate_rejects_bad_spec_usage(self, tmp_path, capsys):
+        assert main(["generate", "--out", str(tmp_path / "x.jsonl"),
+                     "--split-out", str(tmp_path / "s.json")]) == 2
+        assert "--split-out requires --spec" in capsys.readouterr().err
+        assert main(["generate", "--spec", str(tmp_path / "missing.json"),
+                     "--out", str(tmp_path / "x.jsonl")]) == 2
+        assert "cannot load spec" in capsys.readouterr().err
+
+    def test_suites_command_lists_manifests(self, capsys):
+        assert main(["suites"]) == 0
+        listing = capsys.readouterr().out
+        assert "unicode_heavy" in listing and "axes:" in listing
+        assert main(["suites", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload) >= 6
+        assert payload["dirty_columns"]["difficulty"]["expected"]
+
+    @pytest.fixture(scope="class")
+    def trained_bundle(self, tmp_path_factory):
+        """One tiny trained bundle + its corpus, shared by the suite tests."""
+        root = tmp_path_factory.mktemp("suite-cli")
+        corpus = root / "corpus.jsonl"
+        main(["generate", "--n-tables", "40", "--seed", "6", "--out", str(corpus)])
+        bundle = root / "bundle"
+        main(["train", "--corpus", str(corpus), "--out", str(bundle),
+              "--variant", "Base", "--epochs", "2"])
+        return bundle, corpus
+
+    def test_evaluate_suite_reports_per_suite_f1(
+        self, trained_bundle, tmp_path, capsys
+    ):
+        bundle, _ = trained_bundle
+        json_out = tmp_path / "suites.json"
+        capsys.readouterr()
+        assert main(["evaluate", "--model", str(bundle), "--suite", "all",
+                     "--suite-preset", "tiny", "--json", str(json_out)]) == 0
+        output = capsys.readouterr().out
+        assert output.count("macro F1=") >= 6
+        payload = json.loads(json_out.read_text())
+        for report in payload.values():
+            assert 0.0 <= report["macro_f1"] <= 1.0
+            assert report["preset"] == "tiny" and report["n_columns"] > 0
+        # One named suite also works, and bad usage is rejected cleanly.
+        assert main(["evaluate", "--model", str(bundle),
+                     "--suite", "unicode_heavy"]) == 0
+        capsys.readouterr()
+        assert main(["evaluate", "--suite", "all"]) == 2
+        assert "--suite requires --model" in capsys.readouterr().err
+        assert main(["evaluate", "--model", str(bundle), "--suite", "nope"]) == 2
+        assert "unknown suite" in capsys.readouterr().err
+
+    def test_suite_gated_promote_lifecycle(self, trained_bundle, tmp_path, capsys):
+        """End-to-end: a failing suite gate aborts atomically with evidence.
+
+        publish v1 -> promote -> publish v2 -> gated promote with an
+        impossible suite floor (refused: exit 1, pointer untouched, failed
+        evidence in GATE_LOG.json) -> gated promote with a clearable floor
+        (pointer flips, per-suite evidence in CURRENT.json).
+        """
+        bundle, corpus = trained_bundle
+        registry = tmp_path / "registry"
+        publish = ["registry", "publish", "--registry", str(registry),
+                   "--name", "sato", "--model", str(bundle)]
+        assert main(publish) == 0
+        assert main(["registry", "promote", "--registry", str(registry),
+                     "--name", "sato", "--version", "v0001"]) == 0
+        assert main(publish) == 0
+        capsys.readouterr()
+
+        # --suite without --gate is rejected before any work happens.
+        assert main(["registry", "promote", "--registry", str(registry),
+                     "--name", "sato", "--version", "v0002",
+                     "--suite", "clean_baseline"]) == 2
+        assert "--suite requires --gate" in capsys.readouterr().err
+
+        gated = ["registry", "promote", "--registry", str(registry),
+                 "--name", "sato", "--version", "v0002",
+                 "--gate", "--eval-set", str(corpus),
+                 "--min-f1", "0", "--min-agreement", "0",
+                 "--suite-tolerance", "1.0"]
+        current_path = registry / "sato" / "CURRENT.json"
+        before = current_path.read_text()
+
+        assert main(gated + ["--suite", "unknown_suite"]) == 2
+        assert "unknown suite" in capsys.readouterr().err
+
+        refused = main(gated + ["--suite", "clean_baseline:1.01"])
+        captured = capsys.readouterr()
+        assert refused == 1
+        assert "REFUSED" in captured.err and "below floor" in captured.err
+        # Atomic abort: the promotion pointer is byte-identical.
+        assert current_path.read_text() == before
+        log = json.loads((registry / "sato" / "GATE_LOG.json").read_text())
+        assert len(log["entries"]) == 1
+        failed = log["entries"][0]
+        assert failed["version"] == "v0002"
+        assert not failed["gate"]["passed"]
+        assert failed["gate"]["suites"][0]["suite"] == "clean_baseline"
+        assert failed["gate"]["suites"][0]["reasons"]
+
+        passed = main(gated + ["--suite", "clean_baseline:0.0",
+                               "--suite", "unicode_heavy:0.0"])
+        captured = capsys.readouterr()
+        assert passed == 0
+        assert "promoted sato/v0002" in captured.out
+        assert captured.out.count("gate suite") == 2
+        pointer = json.loads(current_path.read_text())
+        assert pointer["version"] == "v0002"
+        suites = {s["suite"]: s for s in pointer["gate"]["suites"]}
+        assert set(suites) == {"clean_baseline", "unicode_heavy"}
+        assert all(s["passed"] for s in suites.values())
+        log = json.loads((registry / "sato" / "GATE_LOG.json").read_text())
+        assert [e["gate"]["passed"] for e in log["entries"]] == [False, True]
 
     def test_predict_on_csv(self, tmp_path, capsys):
         corpus_path = tmp_path / "corpus.jsonl"

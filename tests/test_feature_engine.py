@@ -163,6 +163,37 @@ class TestFeaturizerBackends:
         sharded.close()
 
 
+class TestHardCaseSuiteParity:
+    """Backend parity on the shipped adversarial suites.
+
+    The hard-case suites concentrate exactly the inputs where a vectorized
+    engine can drift from the reference loop — non-BMP codepoints, NFD
+    combining marks, RTL scripts, injected dirt and mixed-type cells — so
+    parity is asserted over them explicitly, not just random corpora.
+    """
+
+    def test_vectorized_matches_loop_on_hard_cases(self, hard_case_tables):
+        featurizer = tiny_featurizer().set_backend("loop")
+        featurizer.fit(hard_case_tables)
+        columns = [c for t in hard_case_tables for c in t.columns]
+        loop = featurizer.transform_columns(columns)
+        featurizer.set_backend("vectorized")
+        vectorized = featurizer.transform_columns(columns)
+        np.testing.assert_allclose(vectorized, loop, rtol=RTOL, atol=ATOL)
+
+    def test_raw_batch_kernels_match_oracles_on_hard_cases(self, hard_case_tables):
+        value_lists = [c.values for t in hard_case_tables for c in t.columns]
+        chars = char_features_batch(value_lists)
+        stats = stats_features_batch(value_lists)
+        for i, values in enumerate(value_lists):
+            np.testing.assert_allclose(
+                chars[i], char_features(values), rtol=RTOL, atol=ATOL
+            )
+            np.testing.assert_allclose(
+                stats[i], column_statistics(values), rtol=RTOL, atol=ATOL
+            )
+
+
 class TestVariantParity:
     """The vectorized backend serves all four variants like the loop does."""
 

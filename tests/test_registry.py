@@ -16,14 +16,18 @@ import pytest
 
 from repro.registry import (
     CURRENT_NAME,
+    GATE_LOG_NAME,
     ModelRegistry,
     RegistryError,
     RegistryWatcher,
     ShadowEvaluator,
+    SuiteGate,
     bundle_fingerprint,
     load_eval_tables,
+    parse_suite_gate,
     replay_agreement,
     run_gate,
+    run_suite_gates,
 )
 from repro.registry.store import VERSION_MANIFEST_NAME, _STAGING_PREFIX
 from repro.serving import Predictor, save_model
@@ -239,6 +243,143 @@ class TestGates:
         with pytest.raises(ValueError, match="no labelled"):
             tables_to_jsonl([unlabeled], path)
             load_eval_tables(path)
+
+
+class EchoPredictor:
+    """Oracle stub: answers every column's ground-truth label (F1 = 1)."""
+
+    def predict_tables(self, tables):
+        return [
+            [column.semantic_type or "name" for column in table.columns]
+            for table in tables
+        ]
+
+
+class ConstantPredictor:
+    """Stub answering one constant label for every column (low F1)."""
+
+    def __init__(self, label: str):
+        self.label = label
+
+    def predict_tables(self, tables):
+        return [[self.label] * table.n_columns for table in tables]
+
+
+class TestSuiteGates:
+    def test_parse_suite_gate_forms(self):
+        assert parse_suite_gate("unicode_heavy") == SuiteGate("unicode_heavy")
+        assert parse_suite_gate("dirty_columns:0.25") == SuiteGate(
+            "dirty_columns", 0.25
+        )
+        with pytest.raises(ValueError):
+            parse_suite_gate(":0.5")
+        with pytest.raises(ValueError):
+            parse_suite_gate("name:not-a-float")
+
+    def test_floor_defaults_to_suite_suggested_floor(self):
+        # clean_baseline ships suggested_floor=0.2: a perfect oracle clears
+        # it, a constant-label stub does not.
+        passing = run_suite_gates(EchoPredictor(), [SuiteGate("clean_baseline")])
+        assert passing[0].passed and passing[0].min_f1 == 0.2
+        failing = run_suite_gates(
+            ConstantPredictor("name"), [SuiteGate("clean_baseline")]
+        )
+        assert not failing[0].passed
+        assert any("below floor" in reason for reason in failing[0].reasons)
+
+    def test_explicit_floor_overrides_spec(self):
+        result = run_suite_gates(
+            EchoPredictor(), [SuiteGate("clean_baseline", min_f1=1.01)]
+        )
+        assert result[0].min_f1 == 1.01 and not result[0].passed
+
+    def test_no_regression_vs_incumbent(self):
+        # A candidate far below the incumbent fails the regression check
+        # even with the floor at zero.
+        results = run_suite_gates(
+            ConstantPredictor("name"),
+            [SuiteGate("clean_baseline", min_f1=0.0)],
+            incumbent=EchoPredictor(),
+            tolerance=0.05,
+        )
+        assert results[0].incumbent_f1 == 1.0
+        assert not results[0].passed
+        assert any("regressed" in reason for reason in results[0].reasons)
+        # Equal performance is never a regression.
+        results = run_suite_gates(
+            EchoPredictor(),
+            [SuiteGate("clean_baseline", min_f1=0.0)],
+            incumbent=EchoPredictor(),
+        )
+        assert results[0].passed
+
+    def test_unknown_suite_raises(self):
+        with pytest.raises(KeyError, match="unknown suite"):
+            run_suite_gates(EchoPredictor(), [SuiteGate("nope")])
+
+    def test_run_gate_folds_suite_reasons_into_verdict(self, serving_split):
+        _, test = serving_split
+        result = run_gate(
+            EchoPredictor(),
+            list(test),
+            min_macro_f1=0.0,
+            min_agreement=0.0,
+            suite_gates=[
+                SuiteGate("clean_baseline", min_f1=0.0),
+                SuiteGate("unicode_heavy", min_f1=1.01),
+            ],
+        )
+        assert not result.passed
+        assert [s.suite for s in result.suites] == ["clean_baseline", "unicode_heavy"]
+        assert result.suites[0].passed and not result.suites[1].passed
+        assert any("unicode_heavy" in reason for reason in result.reasons)
+        payload = result.to_dict()
+        assert [s["suite"] for s in payload["suites"]] == [
+            "clean_baseline",
+            "unicode_heavy",
+        ]
+
+    def test_run_gate_without_suites_is_unchanged(self, serving_split):
+        _, test = serving_split
+        result = run_gate(
+            EchoPredictor(), list(test), min_macro_f1=0.0, min_agreement=0.0
+        )
+        assert result.passed and result.suites == []
+        assert result.to_dict()["suites"] == []
+
+
+class TestGateLog:
+    def test_record_gate_appends_and_reads_back(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        assert registry.gate_log("sato") == []
+        registry.record_gate("sato", "v0001", {"passed": False, "reasons": ["x"]})
+        registry.record_gate("sato", "v0001", {"passed": True, "reasons": []})
+        entries = registry.gate_log("sato")
+        assert [e["version"] for e in entries] == ["v0001", "v0001"]
+        assert [e["gate"]["passed"] for e in entries] == [False, True]
+        assert entries[0]["recorded_at"] <= entries[1]["recorded_at"]
+
+    def test_corrupt_gate_log_raises(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        registry.record_gate("sato", "v0001", {"passed": True})
+        (tmp_path / "sato" / GATE_LOG_NAME).write_text("{torn", encoding="utf-8")
+        with pytest.raises(RegistryError, match=GATE_LOG_NAME):
+            registry.gate_log("sato")
+
+    def test_promotion_history_preserves_gate_evidence(
+        self, trained_base, trained_sato, tmp_path
+    ):
+        registry = ModelRegistry(tmp_path)
+        v1 = registry.publish(trained_base, "sato")
+        v2 = registry.publish(trained_sato, "sato")
+        registry.promote("sato", v1.version, gate={"passed": True, "mark": "first"})
+        registry.promote("sato", v2.version, gate={"passed": True, "mark": "second"})
+        payload = json.loads(
+            (tmp_path / "sato" / CURRENT_NAME).read_text(encoding="utf-8")
+        )
+        assert payload["gate"]["mark"] == "second"
+        assert payload["history"][-1]["version"] == v1.version
+        assert payload["history"][-1]["gate"]["mark"] == "first"
 
 
 class FixedPredictor:
