@@ -8,6 +8,9 @@ Subcommands::
     repro-sato train     --corpus corpus.jsonl --out model/
     repro-sato predict   --model model/ --csv mytable.csv \
                          --feature-backend vectorized --workers 4
+    repro-sato annotate  data/ --model model/ --out schemas.jsonl
+    repro-sato annotate  warehouse.sqlite --registry registry/ \
+                         --model-name sato --chunk-rows 8192
     repro-sato serve     --model model/ --port 8080 \
                          --max-batch-size 32 --max-wait-ms 2 \
                          --model-backend batched
@@ -38,7 +41,12 @@ on promotion — over HTTP with micro-batched online inference (see
 ``docs/http_api.md`` and ``docs/operations.md``).  ``evaluate`` either
 cross-validates one model variant (legacy), evaluates a saved bundle on a
 held-out corpus with ``--model``, or scores a bundle on shipped hard-case
-suites with ``--suite``.  ``suites`` lists the shipped suites and their
+suites with ``--suite``.  ``annotate`` bulk-annotates external
+sources (CSV/NDJSON/SQLite/JSONL files, directories of them, Parquet with
+``pyarrow``) as typed schemas on JSONL output, streaming every source in
+bounded-memory chunks (``docs/ingest.md``); corrupt sources are reported
+on stderr and skipped, and the exit code is non-zero if any source
+failed.  ``suites`` lists the shipped suites and their
 difficulty manifests.  ``registry`` manages the versioned model lifecycle
 (``docs/registry.md``); gated promotions may add per-suite criteria via
 ``--suite`` and every gate decision is appended to the model's
@@ -181,6 +189,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_backend_arguments(predict)
     _add_model_backend_argument(predict)
+
+    annotate = subparsers.add_parser(
+        "annotate",
+        help="bulk-annotate data sources (files, directories, SQLite "
+        "databases) as typed schemas, streaming in bounded memory",
+    )
+    annotate.add_argument(
+        "sources",
+        nargs="+",
+        metavar="SOURCE",
+        help="source files, directories or SQLite databases",
+    )
+    annotate_model = annotate.add_mutually_exclusive_group(required=True)
+    annotate_model.add_argument("--model", help="saved model bundle directory")
+    annotate_model.add_argument(
+        "--registry",
+        help="registry root: annotate with the promoted version of --model-name",
+    )
+    annotate.add_argument(
+        "--model-name", help="registered model name (registry mode)"
+    )
+    annotate.add_argument(
+        "--model-version",
+        help="pin a registry version (default: the promoted one)",
+    )
+    annotate.add_argument(
+        "--out",
+        default="-",
+        help="output JSONL path, one record per ingested table "
+        "(default '-': stdout)",
+    )
+    annotate.add_argument(
+        "--chunk-rows",
+        type=int,
+        default=None,
+        help="rows per streamed chunk (default: the experiment config's "
+        "ingest_chunk_rows)",
+    )
+    annotate.add_argument(
+        "--format",
+        default=None,
+        help="force a registered source format (csv, ndjson, sqlite, "
+        "tables-jsonl, parquet) instead of dispatching on file suffix",
+    )
 
     serve = subparsers.add_parser(
         "serve",
@@ -589,6 +641,85 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_annotate(args: argparse.Namespace) -> int:
+    from repro.ingest import IngestError, StreamingAnnotator, discover_sources
+    from repro.serving import load_model
+
+    if args.chunk_rows is not None and args.chunk_rows < 1:
+        print("--chunk-rows must be >= 1", file=sys.stderr)
+        return 2
+    chunk_rows = (
+        args.chunk_rows
+        if args.chunk_rows is not None
+        else ExperimentConfig().ingest_chunk_rows
+    )
+    if args.registry is not None:
+        from repro.registry import ModelRegistry, RegistryError
+
+        if args.model_name is None:
+            print("--registry requires --model-name", file=sys.stderr)
+            return 2
+        try:
+            model, _ = ModelRegistry(args.registry).load(
+                args.model_name, args.model_version
+            )
+        except (RegistryError, BundleFormatError) as error:
+            print(f"cannot load from registry: {error}", file=sys.stderr)
+            return 2
+    else:
+        if args.model_name is not None or args.model_version is not None:
+            print(
+                "--model-name/--model-version require --registry", file=sys.stderr
+            )
+            return 2
+        try:
+            model = load_model(args.model)
+        except BundleFormatError as error:
+            print(f"cannot load model bundle: {error}", file=sys.stderr)
+            return 2
+    annotator = StreamingAnnotator(model)
+
+    # Resolve every source file up front: a missing path or unknown format
+    # is reported once, and the remaining sources still get annotated
+    # (partial output + non-zero exit).
+    sources = []
+    failures = 0
+    for raw_path in args.sources:
+        try:
+            sources.extend(discover_sources(raw_path, args.format))
+        except IngestError as error:
+            print(f"annotate: {error}", file=sys.stderr)
+            failures += 1
+
+    handle = (
+        sys.stdout if args.out == "-" else open(args.out, "w", encoding="utf-8")
+    )
+    annotated = 0
+    try:
+        for path, adapter in sources:
+            try:
+                for stream in adapter.streams(path, chunk_rows):
+                    record = annotator.annotate_stream(stream)
+                    handle.write(json.dumps(record, ensure_ascii=False))
+                    handle.write("\n")
+                    annotated += 1
+            except IngestError as error:
+                # One corrupt source must not sink the batch: report it,
+                # keep whatever this file already produced, move on.
+                print(f"annotate: {error}", file=sys.stderr)
+                failures += 1
+    finally:
+        handle.flush()
+        if handle is not sys.stdout:
+            handle.close()
+    print(
+        f"annotated {annotated} table(s) from {len(sources)} source file(s)"
+        + (f", {failures} failed" if failures else ""),
+        file=sys.stderr,
+    )
+    return 1 if failures else 0
+
+
 def _cmd_suites(args: argparse.Namespace) -> int:
     from repro.corpus.suites import available_suites, suite_manifest
 
@@ -966,6 +1097,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "evaluate": _cmd_evaluate,
         "suites": _cmd_suites,
         "predict": _cmd_predict,
+        "annotate": _cmd_annotate,
         "serve": _cmd_serve,
         "registry": _cmd_registry,
         "report": _cmd_report,

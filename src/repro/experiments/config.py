@@ -50,6 +50,9 @@ class ExperimentConfig:
     # Batch inference (structured decode backend; see docs/performance.md)
     model_backend: str = "batched"
 
+    # Bulk ingestion (streaming chunked annotate; see docs/ingest.md)
+    ingest_chunk_rows: int = 4096
+
     # Online serving (micro-batching policy; see docs/operations.md)
     serve_max_batch_size: int = DEFAULT_MAX_BATCH_SIZE
     serve_max_wait_ms: float = DEFAULT_MAX_WAIT_MS

@@ -9,8 +9,17 @@ subnetworks and the permutation-importance analysis of Figure 9), and is the
 only object models consume.
 """
 
-from repro.features.char_features import CHAR_FEATURE_NAMES, char_features
-from repro.features.stats_features import STAT_FEATURE_NAMES, column_statistics
+from repro.features.char_features import (
+    CHAR_FEATURE_NAMES,
+    CharAccumulator,
+    char_features,
+)
+from repro.features.stats_features import (
+    STAT_FEATURE_NAMES,
+    StatAccumulator,
+    column_statistics,
+)
+from repro.features.accumulators import ColumnAccumulator, TokenAccumulator
 from repro.features.featurizer import ColumnFeaturizer, FeatureGroup, FeatureMatrix
 from repro.features.engine import (
     VectorizedEngine,
@@ -20,11 +29,15 @@ from repro.features.engine import (
 
 __all__ = [
     "CHAR_FEATURE_NAMES",
+    "CharAccumulator",
     "char_features",
     "char_features_batch",
     "STAT_FEATURE_NAMES",
+    "StatAccumulator",
     "column_statistics",
     "stats_features_batch",
+    "ColumnAccumulator",
+    "TokenAccumulator",
     "ColumnFeaturizer",
     "FeatureGroup",
     "FeatureMatrix",

@@ -6,16 +6,25 @@ scale: for each character class member we compute the mean and presence-rate
 of its occurrences across the column's values, plus a handful of shape
 statistics.  The result is a fixed-length vector independent of the number
 of rows.
+
+The implementation is a mergeable accumulator (:class:`CharAccumulator`)
+holding *exact* sufficient statistics — integer occurrence/presence counts
+and a length histogram — so a column fed in chunks, in any chunk size and
+any merge order, finalizes to the exact same bits as a single full scan.
+:func:`char_features` is the full-scan spelling: one accumulator, one
+``partial_fit``, one ``finalize``.
 """
 
 from __future__ import annotations
 
+import math
 import string
-from typing import Sequence
+from collections import Counter
+from typing import Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["CHAR_VOCABULARY", "CHAR_FEATURE_NAMES", "char_features"]
+__all__ = ["CHAR_VOCABULARY", "CHAR_FEATURE_NAMES", "CharAccumulator", "char_features"]
 
 #: Characters tracked individually: lowercase letters, digits and frequent
 #: punctuation found in table cells.
@@ -40,49 +49,130 @@ CHAR_FEATURE_NAMES: list[str] = (
 _CHAR_INDEX = {c: i for i, c in enumerate(CHAR_VOCABULARY)}
 
 
-def char_features(values: Sequence[str]) -> np.ndarray:
-    """Compute the Char feature vector for a column's values."""
-    n_chars = len(CHAR_VOCABULARY)
-    values = [v for v in values if v]
-    if not values:
-        return np.zeros(len(CHAR_FEATURE_NAMES), dtype=np.float64)
+class CharAccumulator:
+    """Mergeable sufficient statistics for the Char feature group.
 
-    counts = np.zeros((len(values), n_chars), dtype=np.float64)
-    lengths = np.zeros(len(values), dtype=np.float64)
-    n_alpha = n_digit = n_space = n_punct = n_upper = 0
-    total_chars = 0
-    for row, value in enumerate(values):
-        lengths[row] = len(value)
-        for char in value:
-            total_chars += 1
-            if char.isupper():
-                n_upper += 1
-            lowered = char.lower()
-            if lowered.isalpha():
-                n_alpha += 1
-            elif lowered.isdigit():
-                n_digit += 1
-            elif lowered.isspace():
-                n_space += 1
-            else:
-                n_punct += 1
-            index = _CHAR_INDEX.get(lowered)
-            if index is not None:
-                counts[row, index] += 1.0
+    All state is exact (integers and an integer-length histogram), so
+    ``partial_fit`` chunking and ``merge`` order never change the
+    finalized vector: ``finalize`` reduces the same exact state through
+    the same order-invariant formulas (``math.fsum`` is correctly
+    rounded) no matter how the values arrived.
 
-    mean_counts = counts.mean(axis=0)
-    presence = (counts > 0).mean(axis=0)
-    total_chars = max(1, total_chars)
-    shape = np.array(
-        [
-            n_alpha / total_chars,
-            n_digit / total_chars,
-            n_space / total_chars,
-            n_punct / total_chars,
-            n_upper / total_chars,
-            float(lengths.mean()),
-            float(lengths.std()),
-        ],
-        dtype=np.float64,
+    Examples:
+        >>> whole = CharAccumulator().partial_fit(["ab", "a"])
+        >>> left = CharAccumulator().partial_fit(["ab"])
+        >>> right = CharAccumulator().partial_fit(["a"])
+        >>> bool((left.merge(right).finalize() == whole.finalize()).all())
+        True
+    """
+
+    __slots__ = (
+        "n_values",
+        "counts",
+        "presence",
+        "n_alpha",
+        "n_digit",
+        "n_space",
+        "n_punct",
+        "n_upper",
+        "total_chars",
+        "lengths",
     )
-    return np.concatenate([mean_counts, presence, shape])
+
+    def __init__(self) -> None:
+        n_chars = len(CHAR_VOCABULARY)
+        self.n_values = 0
+        self.counts = [0] * n_chars
+        self.presence = [0] * n_chars
+        self.n_alpha = 0
+        self.n_digit = 0
+        self.n_space = 0
+        self.n_punct = 0
+        self.n_upper = 0
+        self.total_chars = 0
+        self.lengths: Counter[int] = Counter()
+
+    def partial_fit(self, values: Iterable[str]) -> "CharAccumulator":
+        """Fold a batch of values into the accumulator."""
+        counts = self.counts
+        presence = self.presence
+        for value in values:
+            if not value:
+                continue
+            self.n_values += 1
+            self.lengths[len(value)] += 1
+            value_counts: dict[int, int] = {}
+            for char in value:
+                self.total_chars += 1
+                if char.isupper():
+                    self.n_upper += 1
+                lowered = char.lower()
+                if lowered.isalpha():
+                    self.n_alpha += 1
+                elif lowered.isdigit():
+                    self.n_digit += 1
+                elif lowered.isspace():
+                    self.n_space += 1
+                else:
+                    self.n_punct += 1
+                index = _CHAR_INDEX.get(lowered)
+                if index is not None:
+                    value_counts[index] = value_counts.get(index, 0) + 1
+            for index, count in value_counts.items():
+                counts[index] += count
+                presence[index] += 1
+        return self
+
+    def merge(self, other: "CharAccumulator") -> "CharAccumulator":
+        """Fold another accumulator's state into this one."""
+        self.n_values += other.n_values
+        self.counts = [a + b for a, b in zip(self.counts, other.counts)]
+        self.presence = [a + b for a, b in zip(self.presence, other.presence)]
+        self.n_alpha += other.n_alpha
+        self.n_digit += other.n_digit
+        self.n_space += other.n_space
+        self.n_punct += other.n_punct
+        self.n_upper += other.n_upper
+        self.total_chars += other.total_chars
+        self.lengths.update(other.lengths)
+        return self
+
+    def finalize(self) -> np.ndarray:
+        """Reduce the accumulated state to the Char feature vector."""
+        if self.n_values == 0:
+            return np.zeros(len(CHAR_FEATURE_NAMES), dtype=np.float64)
+        n = self.n_values
+        mean_counts = np.array(self.counts, dtype=np.float64) / n
+        presence = np.array(self.presence, dtype=np.float64) / n
+        total_chars = max(1, self.total_chars)
+        length_sum = sum(length * count for length, count in self.lengths.items())
+        mean_length = length_sum / n
+        length_var = (
+            math.fsum(
+                count * (length - mean_length) ** 2
+                for length, count in self.lengths.items()
+            )
+            / n
+        )
+        shape = np.array(
+            [
+                self.n_alpha / total_chars,
+                self.n_digit / total_chars,
+                self.n_space / total_chars,
+                self.n_punct / total_chars,
+                self.n_upper / total_chars,
+                mean_length,
+                math.sqrt(max(0.0, length_var)),
+            ],
+            dtype=np.float64,
+        )
+        return np.concatenate([mean_counts, presence, shape])
+
+
+def char_features(values: Sequence[str]) -> np.ndarray:
+    """Compute the Char feature vector for a column's values.
+
+    The full-scan path is the accumulator fed once, so streamed chunked
+    featurization is bit-identical to this function by construction.
+    """
+    return CharAccumulator().partial_fit(values).finalize()

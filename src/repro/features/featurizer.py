@@ -164,30 +164,60 @@ class ColumnFeaturizer:
         return self.groups[-1].stop
 
     def fit(self, tables: Iterable[Table]) -> "ColumnFeaturizer":
-        """Fit the embedding substrate and the standardiser on training tables."""
-        tables = list(tables)
+        """Fit the embedding substrate and the standardiser on training tables.
+
+        Delegates to :meth:`fit_stream` over whole-table single-chunk
+        streams, so the in-memory path and the streamed path are one code
+        path (and therefore bit-identical for any chunk size).
+        """
+        from repro.tables.chunks import stream_tables
+
+        return self.fit_stream(stream_tables(list(tables)))
+
+    def fit_stream(self, streams) -> "ColumnFeaturizer":
+        """Fit from an iterable of :class:`~repro.tables.TableStream`.
+
+        Each stream's chunks are folded into one
+        :class:`~repro.features.accumulators.ColumnAccumulator` per
+        column, so memory is proportional to the number of columns (plus
+        distinct values per column), never the row count.  The result is
+        bit-identical to :meth:`fit` on the materialized tables.
+        """
         self._reset_engine()
+        accumulators = []
+        for stream in streams:
+            stream_accs = [self.column_accumulator() for _ in range(stream.n_columns)]
+            for chunk in stream.chunks:
+                if chunk.n_columns != len(stream_accs):
+                    raise ValueError(
+                        f"chunk has {chunk.n_columns} columns, stream declared "
+                        f"{len(stream_accs)}"
+                    )
+                row_span = chunk.n_rows
+                for accumulator, values in zip(stream_accs, chunk.columns):
+                    accumulator.partial_fit(
+                        values, start_row=chunk.start_row, row_span=row_span
+                    )
+            accumulators.extend(stream_accs)
         documents = [
-            tokenize_values(column.values)[: self.max_tokens_per_column]
-            for table in tables
-            for column in table.columns
+            accumulator.token_list()[: self.max_tokens_per_column]
+            for accumulator in accumulators
         ]
         self.word_model.fit(documents)
         self.paragraph_embedder.fit(documents)
         # The embedding substrate is fitted, which is everything transform
-        # (and a sharding worker pool's state_dict) needs; flip the flag now
-        # so the standardiser pass below can run through the full backend.
+        # needs; flip the flag now so the standardiser pass below can run.
         self._mean = None
         self._std = None
         self._fitted = True
-        columns = [column for table in tables for column in table.columns]
-        if self.standardize and columns:
+        if self.standardize and accumulators:
             try:
-                raw = self._raw_matrix(columns)
+                raw = np.stack(
+                    [self._raw_from_accumulator(a) for a in accumulators]
+                )
             except BaseException:
-                # A failed standardiser pass (worker pool spawn, engine
-                # error) must not leave a "fitted" featurizer that silently
-                # serves unstandardized features.
+                # A failed standardiser pass must not leave a "fitted"
+                # featurizer that silently serves unstandardized features.
                 self._fitted = False
                 raise
             self._mean = raw.mean(axis=0)
@@ -260,6 +290,69 @@ class ColumnFeaturizer:
         para_vector = self.paragraph_embedder.embed(tokens)
         stat_vector = column_statistics(column.values)
         return np.concatenate([char_vector, word_vector, para_vector, stat_vector])
+
+    # ------------------------------------------------------------ streaming
+
+    def column_accumulator(self, max_tokens: int | None = None):
+        """A fresh per-column accumulator for the streaming path.
+
+        ``max_tokens`` defaults to the featurizer's own token budget;
+        callers that also need the table-level topic document (the
+        streaming annotator) pass a larger cap and
+        :meth:`finalize_columns` re-slices to the per-column budget.
+        """
+        from repro.features.accumulators import ColumnAccumulator
+
+        if max_tokens is None:
+            max_tokens = self.max_tokens_per_column
+        elif max_tokens < self.max_tokens_per_column:
+            raise ValueError(
+                "max_tokens must cover the featurizer's max_tokens_per_column"
+            )
+        return ColumnAccumulator(max_tokens)
+
+    def _raw_from_accumulator(self, accumulator) -> np.ndarray:
+        """Raw features from accumulated state.
+
+        Bit-identical to :meth:`_raw_features` on the same values: the
+        Char/Stat accumulators ARE the loop implementation, and the token
+        accumulator reassembles the exact capped prefix the loop path
+        tokenizes.
+        """
+        tokens = accumulator.token_list()[: self.max_tokens_per_column]
+        char_vector = accumulator.char.finalize()
+        word_vector = self.word_model.mean_vector(tokens)
+        para_vector = self.paragraph_embedder.embed(tokens)
+        stat_vector = accumulator.stat.finalize()
+        return np.concatenate([char_vector, word_vector, para_vector, stat_vector])
+
+    def finalize_columns(self, accumulators) -> np.ndarray:
+        """Finalize a batch of column accumulators into feature vectors.
+
+        The streaming counterpart of :meth:`transform_columns`: same
+        standardisation, same output shape, bit-identical to the loop
+        full-scan path for any chunking/merge order of the inputs.
+        """
+        accumulators = list(accumulators)
+        if not accumulators:
+            return np.zeros((0, self.n_features), dtype=np.float64)
+        if not self._fitted:
+            raise RuntimeError("featurizer must be fitted before transform")
+        raw = np.stack([self._raw_from_accumulator(a) for a in accumulators])
+        if self.standardize and self._mean is not None and self._std is not None:
+            raw = (raw - self._mean) / self._std
+        return raw
+
+    def transform_stream(self, stream) -> np.ndarray:
+        """Featurize one :class:`~repro.tables.TableStream` in bounded memory."""
+        accumulators = [self.column_accumulator() for _ in range(stream.n_columns)]
+        for chunk in stream.chunks:
+            row_span = chunk.n_rows
+            for accumulator, values in zip(accumulators, chunk.columns):
+                accumulator.partial_fit(
+                    values, start_row=chunk.start_row, row_span=row_span
+                )
+        return self.finalize_columns(accumulators)
 
     def _raw_matrix(self, columns: Sequence[Column]) -> np.ndarray:
         """Raw (unstandardized) features for a batch, via the active backend."""

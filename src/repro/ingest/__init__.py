@@ -1,0 +1,48 @@
+"""Ingestion adapters: external sources in, chunked table streams out.
+
+``repro.ingest`` is how bulk data enters the pipeline without a full
+in-memory copy.  A thin :class:`~repro.ingest.base.SourceAdapter`
+protocol plus a registry of concrete adapters (CSV, NDJSON, SQLite via
+stdlib ``sqlite3``, the native tables-JSONL corpus format, and Parquet
+behind an optional ``pyarrow`` guard) turn files, directories and
+databases into :class:`~repro.tables.TableStream` objects, which the
+streaming featurization path consumes chunk by chunk.
+:class:`~repro.ingest.annotate.StreamingAnnotator` drives a fitted model
+over those streams — the engine behind ``repro-sato annotate``.
+"""
+
+from repro.ingest.base import (
+    DEFAULT_CHUNK_ROWS,
+    IngestError,
+    SourceAdapter,
+    adapter_for,
+    discover_sources,
+    open_source,
+    register_adapter,
+    registered_adapters,
+)
+
+# Importing the adapter modules registers them.
+from repro.ingest.csv_source import CsvAdapter
+from repro.ingest.ndjson_source import NdjsonAdapter
+from repro.ingest.sqlite_source import SqliteAdapter
+from repro.ingest.jsonl_source import TablesJsonlAdapter
+from repro.ingest.parquet_source import ParquetAdapter
+from repro.ingest.annotate import StreamingAnnotator
+
+__all__ = [
+    "DEFAULT_CHUNK_ROWS",
+    "IngestError",
+    "SourceAdapter",
+    "adapter_for",
+    "discover_sources",
+    "open_source",
+    "register_adapter",
+    "registered_adapters",
+    "CsvAdapter",
+    "NdjsonAdapter",
+    "SqliteAdapter",
+    "TablesJsonlAdapter",
+    "ParquetAdapter",
+    "StreamingAnnotator",
+]

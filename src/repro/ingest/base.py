@@ -1,0 +1,166 @@
+"""The source adapter protocol and registry.
+
+A :class:`SourceAdapter` turns one external data source (a CSV file, an
+NDJSON file, a SQLite database, ...) into :class:`~repro.tables.TableStream`
+objects whose chunks are bounded in memory.  Concrete adapters register
+themselves with :func:`register_adapter`; :func:`discover_sources` maps a
+path (file or directory) to ``(path, adapter)`` pairs and
+:func:`open_source` yields the streams themselves.
+
+All ingestion failures surface as :class:`IngestError` with the offending
+source path in the message — callers get one clear error per source, never
+a raw parser traceback.
+
+Examples:
+    >>> from repro.ingest import registered_adapters
+    >>> sorted(registered_adapters())
+    ['csv', 'ndjson', 'parquet', 'sqlite', 'tables-jsonl']
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator
+
+from repro.tables import Table, TableStream
+from repro.tables.chunks import DEFAULT_CHUNK_ROWS
+
+__all__ = [
+    "DEFAULT_CHUNK_ROWS",
+    "IngestError",
+    "SourceAdapter",
+    "register_adapter",
+    "registered_adapters",
+    "adapter_for",
+    "discover_sources",
+    "open_source",
+]
+
+
+class IngestError(Exception):
+    """A data source could not be ingested.
+
+    Raised (never a parser traceback) for every failure mode: missing or
+    unreadable files, malformed content, unsupported formats.  The source
+    path is folded into the message and kept on ``.source``.
+    """
+
+    def __init__(self, message: str, source: str | Path | None = None) -> None:
+        if source is not None:
+            message = f"{source}: {message}"
+        super().__init__(message)
+        self.source = str(source) if source is not None else None
+
+
+class SourceAdapter:
+    """Base class for ingestion adapters.
+
+    Subclasses set ``name`` and ``suffixes`` and implement
+    :meth:`streams`; :meth:`write_fixture` is the inverse used by the
+    round-trip tests (and anything that needs to emit a sample source).
+    """
+
+    #: Registry key and ``--format`` spelling.
+    name: str = ""
+    #: Lower-case file suffixes this adapter claims.
+    suffixes: tuple[str, ...] = ()
+
+    @property
+    def available(self) -> bool:
+        """Whether the adapter's backing parser is importable."""
+        return True
+
+    def can_ingest(self, path: Path) -> bool:
+        """Whether this adapter claims ``path`` (by suffix, on files)."""
+        return path.is_file() and path.suffix.lower() in self.suffixes
+
+    def streams(
+        self, path: str | Path, chunk_rows: int = DEFAULT_CHUNK_ROWS
+    ) -> Iterator[TableStream]:
+        """Yield one :class:`TableStream` per table in the source."""
+        raise NotImplementedError
+
+    def write_fixture(self, table: Table, path: str | Path) -> Path:
+        """Write ``table`` as a source this adapter can re-ingest."""
+        raise NotImplementedError
+
+
+_REGISTRY: dict[str, SourceAdapter] = {}
+
+
+def register_adapter(cls: type) -> type:
+    """Class decorator: instantiate and register an adapter under its name."""
+    adapter = cls()
+    if not adapter.name:
+        raise ValueError(f"{cls.__name__} must set a non-empty name")
+    _REGISTRY[adapter.name] = adapter
+    return cls
+
+
+def registered_adapters() -> dict[str, SourceAdapter]:
+    """Snapshot of the adapter registry (name -> adapter instance)."""
+    return dict(_REGISTRY)
+
+
+def adapter_for(path: str | Path, format: str | None = None) -> SourceAdapter:
+    """Resolve the adapter for a source file.
+
+    ``format`` forces a registered adapter by name; otherwise the file
+    suffix decides.
+    """
+    path = Path(path)
+    if format is not None:
+        try:
+            return _REGISTRY[format]
+        except KeyError:
+            known = ", ".join(sorted(_REGISTRY))
+            raise IngestError(
+                f"unknown format {format!r} (known formats: {known})", source=path
+            ) from None
+    for adapter in _REGISTRY.values():
+        if adapter.can_ingest(path):
+            return adapter
+    known = ", ".join(
+        sorted(suffix for adapter in _REGISTRY.values() for suffix in adapter.suffixes)
+    )
+    raise IngestError(
+        f"no adapter recognises this source (known suffixes: {known})", source=path
+    )
+
+
+def discover_sources(
+    path: str | Path, format: str | None = None
+) -> list[tuple[Path, SourceAdapter]]:
+    """Map a file or directory to ``(file, adapter)`` pairs.
+
+    Directories are walked recursively in sorted order (deterministic
+    output ordering); files with unrecognised suffixes are skipped.  A
+    single-file path with an unrecognised suffix is an error — pointing
+    the tool at one specific file that cannot be read deserves a
+    complaint, a stray file in a directory does not.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise IngestError("source does not exist", source=path)
+    if path.is_dir():
+        sources: list[tuple[Path, SourceAdapter]] = []
+        for child in sorted(path.iterdir()):
+            if child.is_dir():
+                sources.extend(discover_sources(child, format))
+            else:
+                try:
+                    sources.append((child, adapter_for(child, format)))
+                except IngestError:
+                    continue
+        return sources
+    return [(path, adapter_for(path, format))]
+
+
+def open_source(
+    path: str | Path,
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+    format: str | None = None,
+) -> Iterator[TableStream]:
+    """Yield every :class:`TableStream` under a file or directory path."""
+    for source_path, adapter in discover_sources(path, format):
+        yield from adapter.streams(source_path, chunk_rows)

@@ -1,0 +1,102 @@
+"""CSV source adapter.
+
+Reads ``utf-8`` CSV with an optional leading BOM (``utf-8-sig`` strips
+it), takes the first row as headers, and streams the remaining rows in
+``chunk_rows``-row column-major chunks.  Values round-trip byte-exactly:
+quoting and embedded newlines are the :mod:`csv` module's, and unicode is
+never normalized (NFD stays NFD).
+
+Rows shorter than the header are padded with missing cells; rows *longer*
+than the header are a structural error (a streaming reader cannot widen
+columns it has already emitted) and raise :class:`IngestError`.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterator
+
+from repro.ingest.base import (
+    DEFAULT_CHUNK_ROWS,
+    IngestError,
+    SourceAdapter,
+    register_adapter,
+)
+from repro.tables import Table, TableChunk, TableStream
+from repro.tables.io import table_to_csv
+
+__all__ = ["CsvAdapter"]
+
+
+@register_adapter
+class CsvAdapter(SourceAdapter):
+    """One table per ``.csv`` file; first row is the header."""
+
+    name = "csv"
+    suffixes = (".csv",)
+
+    def streams(
+        self, path: str | Path, chunk_rows: int = DEFAULT_CHUNK_ROWS
+    ) -> Iterator[TableStream]:
+        path = Path(path)
+        try:
+            handle = path.open(newline="", encoding="utf-8-sig")
+        except OSError as exc:
+            raise IngestError(f"cannot open: {exc}", source=path) from exc
+        reader = csv.reader(handle)
+        try:
+            headers = next(reader)
+        except StopIteration:
+            handle.close()
+            raise IngestError("empty CSV file (no header row)", source=path) from None
+        except (csv.Error, UnicodeDecodeError) as exc:
+            handle.close()
+            raise IngestError(f"malformed CSV: {exc}", source=path) from exc
+
+        n_columns = len(headers)
+
+        def chunks() -> Iterator[TableChunk]:
+            try:
+                block: list[list[str]] = [[] for _ in range(n_columns)]
+                start_row = 0
+                block_rows = 0
+                for line_number, row in enumerate(reader, start=2):
+                    if len(row) > n_columns:
+                        raise IngestError(
+                            f"row on line {line_number} has {len(row)} cells but "
+                            f"the header declares {n_columns} columns",
+                            source=path,
+                        )
+                    for j in range(n_columns):
+                        block[j].append(row[j] if j < len(row) else "")
+                    block_rows += 1
+                    if block_rows >= chunk_rows:
+                        yield TableChunk(
+                            columns=tuple(tuple(values) for values in block),
+                            start_row=start_row,
+                        )
+                        start_row += block_rows
+                        block_rows = 0
+                        block = [[] for _ in range(n_columns)]
+                if block_rows:
+                    yield TableChunk(
+                        columns=tuple(tuple(values) for values in block),
+                        start_row=start_row,
+                    )
+            except (csv.Error, UnicodeDecodeError) as exc:
+                raise IngestError(f"malformed CSV: {exc}", source=path) from exc
+            finally:
+                handle.close()
+
+        yield TableStream(
+            headers=tuple(headers),
+            chunks=chunks(),
+            table_id=path.stem,
+            metadata={"source": str(path), "format": self.name},
+        )
+
+    def write_fixture(self, table: Table, path: str | Path) -> Path:
+        path = Path(path)
+        table_to_csv(table, path)
+        return path

@@ -1,0 +1,109 @@
+"""Parquet source adapter (optional, behind an import guard).
+
+Parquet needs ``pyarrow``, which is not a dependency of this project.
+The adapter is always registered so ``--format parquet`` and suffix
+dispatch give a *clear* :class:`IngestError` explaining the missing
+backend instead of an ``ImportError`` traceback; when ``pyarrow`` is
+importable it streams record batches of ``chunk_rows`` rows.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator
+
+from repro.ingest.base import (
+    DEFAULT_CHUNK_ROWS,
+    IngestError,
+    SourceAdapter,
+    register_adapter,
+)
+from repro.tables import Table, TableChunk, TableStream
+
+try:  # pragma: no cover - exercised only where pyarrow is installed
+    import pyarrow.parquet as _parquet
+except ImportError:  # pragma: no cover
+    _parquet = None
+
+__all__ = ["ParquetAdapter"]
+
+
+def _cell(value: object) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)
+
+
+@register_adapter
+class ParquetAdapter(SourceAdapter):
+    """One table per ``.parquet`` file (requires ``pyarrow``)."""
+
+    name = "parquet"
+    suffixes = (".parquet",)
+
+    @property
+    def available(self) -> bool:
+        return _parquet is not None
+
+    def _require_backend(self, path: Path) -> None:
+        if _parquet is None:
+            raise IngestError(
+                "parquet support requires the optional 'pyarrow' package, "
+                "which is not installed",
+                source=path,
+            )
+
+    def streams(
+        self, path: str | Path, chunk_rows: int = DEFAULT_CHUNK_ROWS
+    ) -> Iterator[TableStream]:
+        path = Path(path)
+        self._require_backend(path)
+        try:
+            parquet_file = _parquet.ParquetFile(path)
+        except Exception as exc:
+            raise IngestError(f"malformed parquet: {exc}", source=path) from exc
+        headers = tuple(parquet_file.schema_arrow.names)
+
+        def chunks() -> Iterator[TableChunk]:
+            try:
+                start_row = 0
+                for batch in parquet_file.iter_batches(batch_size=chunk_rows):
+                    columns = tuple(
+                        tuple(_cell(value) for value in batch.column(j).to_pylist())
+                        for j in range(batch.num_columns)
+                    )
+                    yield TableChunk(columns=columns, start_row=start_row)
+                    start_row += batch.num_rows
+            except Exception as exc:
+                if isinstance(exc, IngestError):
+                    raise
+                raise IngestError(f"malformed parquet: {exc}", source=path) from exc
+
+        yield TableStream(
+            headers=headers,
+            chunks=chunks(),
+            table_id=path.stem,
+            metadata={"source": str(path), "format": self.name},
+        )
+
+    def write_fixture(self, table: Table, path: str | Path) -> Path:
+        path = Path(path)
+        self._require_backend(path)
+        import pyarrow as pa
+
+        headers = [
+            column.header if column.header is not None else f"col{i}"
+            for i, column in enumerate(table.columns)
+        ]
+        n_rows = table.n_rows
+        arrays = [
+            pa.array(
+                list(column.values) + [""] * (n_rows - len(column.values)),
+                type=pa.string(),
+            )
+            for column in table.columns
+        ]
+        _parquet.write_table(pa.table(arrays, names=headers), path)
+        return path

@@ -1,0 +1,133 @@
+"""SQLite source adapter (stdlib :mod:`sqlite3`, read-only).
+
+Every user table in the database becomes one stream, in sorted name
+order.  Rows are fetched ``chunk_rows`` at a time, so memory stays
+bounded for million-row tables.  SQLite's type affinities map to the
+string cell model as: ``NULL`` -> missing cell (empty string),
+``INTEGER``/``REAL`` -> ``str()`` of the Python number (``7``, ``1.5``),
+``TEXT`` -> the text itself, ``BLOB`` -> UTF-8 decode with replacement.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from pathlib import Path
+from typing import Iterator
+
+from repro.ingest.base import (
+    DEFAULT_CHUNK_ROWS,
+    IngestError,
+    SourceAdapter,
+    register_adapter,
+)
+from repro.tables import Table, TableChunk, TableStream
+
+__all__ = ["SqliteAdapter"]
+
+
+def _cell(value: object) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, bytes):
+        return value.decode("utf-8", errors="replace")
+    return str(value)
+
+
+def _connect(path: Path) -> sqlite3.Connection:
+    try:
+        return sqlite3.connect(f"file:{path}?mode=ro", uri=True)
+    except sqlite3.Error as exc:
+        raise IngestError(f"cannot open database: {exc}", source=path) from exc
+
+
+@register_adapter
+class SqliteAdapter(SourceAdapter):
+    """One stream per user table in a ``.sqlite``/``.db`` file."""
+
+    name = "sqlite"
+    suffixes = (".sqlite", ".sqlite3", ".db")
+
+    def _table_names(self, path: Path) -> list[str]:
+        connection = _connect(path)
+        try:
+            rows = connection.execute(
+                "SELECT name FROM sqlite_master "
+                "WHERE type = 'table' AND name NOT LIKE 'sqlite_%' "
+                "ORDER BY name"
+            ).fetchall()
+        except sqlite3.Error as exc:
+            raise IngestError(f"not a SQLite database: {exc}", source=path) from exc
+        finally:
+            connection.close()
+        return [row[0] for row in rows]
+
+    def streams(
+        self, path: str | Path, chunk_rows: int = DEFAULT_CHUNK_ROWS
+    ) -> Iterator[TableStream]:
+        path = Path(path)
+        if not path.is_file():
+            raise IngestError("source does not exist", source=path)
+        for table_name in self._table_names(path):
+            yield self._stream_table(path, table_name, chunk_rows)
+
+    def _stream_table(
+        self, path: Path, table_name: str, chunk_rows: int
+    ) -> TableStream:
+        connection = _connect(path)
+        quoted = table_name.replace('"', '""')
+        try:
+            cursor = connection.execute(f'SELECT * FROM "{quoted}"')
+        except sqlite3.Error as exc:
+            connection.close()
+            raise IngestError(
+                f"cannot read table {table_name!r}: {exc}", source=path
+            ) from exc
+        headers = tuple(description[0] for description in cursor.description)
+
+        def chunks() -> Iterator[TableChunk]:
+            try:
+                start_row = 0
+                while True:
+                    rows = cursor.fetchmany(chunk_rows)
+                    if not rows:
+                        break
+                    yield TableChunk(
+                        columns=tuple(
+                            tuple(_cell(row[j]) for row in rows)
+                            for j in range(len(headers))
+                        ),
+                        start_row=start_row,
+                    )
+                    start_row += len(rows)
+            except sqlite3.Error as exc:
+                raise IngestError(
+                    f"error reading table {table_name!r}: {exc}", source=path
+                ) from exc
+            finally:
+                connection.close()
+
+        return TableStream(
+            headers=headers,
+            chunks=chunks(),
+            table_id=f"{path.stem}.{table_name}",
+            metadata={"source": str(path), "format": self.name, "table": table_name},
+        )
+
+    def write_fixture(self, table: Table, path: str | Path) -> Path:
+        path = Path(path)
+        headers = [
+            column.header if column.header is not None else f"col{i}"
+            for i, column in enumerate(table.columns)
+        ]
+        quoted = ", ".join('"{}" TEXT'.format(h.replace('"', '""')) for h in headers)
+        placeholders = ", ".join("?" for _ in headers)
+        connection = sqlite3.connect(path)
+        try:
+            connection.execute(f"CREATE TABLE data ({quoted})")
+            connection.executemany(
+                f"INSERT INTO data VALUES ({placeholders})", table.rows()
+            )
+            connection.commit()
+        finally:
+            connection.close()
+        return path

@@ -146,6 +146,24 @@ class Table:
             for r in range(n_rows)
         ]
 
+    def iter_chunks(self, chunk_rows: int = 4096):
+        """Yield the table as row-ordered, column-major value chunks.
+
+        See :func:`repro.tables.chunks.iter_table_chunks`.
+        """
+        from repro.tables.chunks import iter_table_chunks
+
+        return iter_table_chunks(self, chunk_rows)
+
+    def as_stream(self, chunk_rows: int | None = None):
+        """Wrap the table as a single-use :class:`~repro.tables.TableStream`.
+
+        With ``chunk_rows=None`` the whole table arrives as one chunk.
+        """
+        from repro.tables.chunks import table_stream
+
+        return table_stream(self, chunk_rows)
+
     def without_headers(self) -> "Table":
         """Return a copy with header and label metadata removed.
 

@@ -95,6 +95,19 @@ class TableIntentEstimator:
             raise RuntimeError("intent estimator is not fitted")
         return self.lda.transform(self.table_document(table))
 
+    def topic_vector_from_tokens(self, tokens: Sequence[str]) -> np.ndarray:
+        """Infer the topic vector from a pre-assembled table document.
+
+        The streaming counterpart of :meth:`topic_vector`: the caller
+        hands in the table's token prefix (its columns' token streams
+        concatenated column by column, as :meth:`table_document` builds
+        it), so a chunked ingest path produces bit-identical vectors to
+        the in-memory path without materializing the table.
+        """
+        if not self._fitted:
+            raise RuntimeError("intent estimator is not fitted")
+        return self.lda.transform(list(tokens)[: self.max_tokens_per_table])
+
     def topic_vectors(self, tables: Sequence[Table]) -> np.ndarray:
         """Infer topic vectors for a sequence of tables."""
         if not tables:

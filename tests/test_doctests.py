@@ -9,10 +9,14 @@ the tier-1 run (`pytest -x -q`) exercises the examples without extra flags.
 from __future__ import annotations
 
 import doctest
+import importlib
 
 import pytest
 
+import repro.features.accumulators
 import repro.features.engine
+import repro.features.stats_features
+import repro.ingest.base
 import repro.models.batched
 import repro.registry
 import repro.registry.shadow
@@ -24,9 +28,18 @@ import repro.serving.component
 import repro.serving.predictor
 import repro.serving.scheduler
 import repro.serving.server
+import repro.tables.chunks
+
+# ``repro.features`` re-exports a ``char_features`` *function*, which
+# shadows the submodule as a package attribute — resolve the module itself.
+char_features_module = importlib.import_module("repro.features.char_features")
 
 DOCUMENTED_MODULES = [
+    char_features_module,
+    repro.features.accumulators,
     repro.features.engine,
+    repro.features.stats_features,
+    repro.ingest.base,
     repro.models.batched,
     repro.registry,
     repro.registry.shadow,
@@ -38,9 +51,12 @@ DOCUMENTED_MODULES = [
     repro.serving.predictor,
     repro.serving.scheduler,
     repro.serving.server,
+    repro.tables.chunks,
 ]
 
 PUBLIC_EXAMPLE_PACKAGES = {
+    char_features_module: ["CharAccumulator"],
+    repro.features.stats_features: ["StatAccumulator"],
     repro.models.batched: ["pad_unaries", "split_by_table", "BatchedInferenceCore"],
     repro.registry.store: ["ModelRegistry"],
     repro.registry.shadow: ["ShadowEvaluator"],

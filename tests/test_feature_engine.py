@@ -256,8 +256,8 @@ class TestRuntimeIsolation:
         featurizer = tiny_featurizer()
         monkeypatch.setattr(
             type(featurizer),
-            "_raw_matrix",
-            lambda self, columns: (_ for _ in ()).throw(RuntimeError("boom")),
+            "_raw_from_accumulator",
+            lambda self, accumulator: (_ for _ in ()).throw(RuntimeError("boom")),
         )
         with pytest.raises(RuntimeError, match="boom"):
             featurizer.fit(multi_column_tables[:5])
