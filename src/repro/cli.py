@@ -189,6 +189,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_backend_arguments(predict)
     _add_model_backend_argument(predict)
+    _add_sketch_arguments(predict)
 
     annotate = subparsers.add_parser(
         "annotate",
@@ -232,6 +233,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="force a registered source format (csv, ndjson, sqlite, "
         "tables-jsonl, parquet) instead of dispatching on file suffix",
+    )
+    _add_sketch_arguments(annotate)
+    annotate.add_argument(
+        "--sketch-gc",
+        action="store_true",
+        help="after annotating, compact the sketch-store logs down to the "
+        "live LRU entries and purge sections from stale configurations",
     )
 
     serve = subparsers.add_parser(
@@ -314,6 +322,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_backend_arguments(serve)
     _add_model_backend_argument(serve)
+    _add_sketch_arguments(serve)
 
     registry = subparsers.add_parser(
         "registry",
@@ -448,6 +457,31 @@ def _add_model_backend_argument(parser: argparse.ArgumentParser) -> None:
         help="batch inference backend: one padded/masked forward + Viterbi "
         "over the whole batch (default) or the per-table reference loop",
     )
+
+
+def _add_sketch_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--sketch-store",
+        default=None,
+        help="persistent column-sketch store directory: columns whose "
+        "content fingerprint hits the store skip featurization with "
+        "bit-identical output (single-process only)",
+    )
+    parser.add_argument(
+        "--sketch-sample-rows",
+        type=int,
+        default=None,
+        metavar="N",
+        help="featurize sketch misses from each column's first N values "
+        "only (bounded-sample accuracy-vs-speed dial for huge columns)",
+    )
+
+
+def _check_sketch_arguments(args: argparse.Namespace) -> int:
+    if args.sketch_sample_rows is not None and args.sketch_sample_rows < 1:
+        print("--sketch-sample-rows must be >= 1", file=sys.stderr)
+        return 2
+    return 0
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -596,7 +630,12 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
 def _cmd_predict(args: argparse.Namespace) -> int:
     if args.model is None and args.corpus is None:
-        print("predict requires --model (bundle) or --corpus (retrain fallback)", file=sys.stderr)
+        print(
+            "predict requires --model (bundle) or --corpus (retrain fallback)",
+            file=sys.stderr,
+        )
+        return 2
+    if _check_sketch_arguments(args):
         return 2
     if args.model is not None:
         if args.corpus is not None:
@@ -619,6 +658,8 @@ def _cmd_predict(args: argparse.Namespace) -> int:
                 feature_backend=args.feature_backend,
                 workers=args.workers,
                 model_backend=args.model_backend,
+                sketch_store=args.sketch_store,
+                sketch_sample_rows=args.sketch_sample_rows,
             )
         except BundleFormatError as error:
             print(f"cannot load model bundle: {error}", file=sys.stderr)
@@ -629,9 +670,15 @@ def _cmd_predict(args: argparse.Namespace) -> int:
         model = _build_variant(variant, epochs)
         model.set_feature_backend(args.feature_backend, args.workers)
         model.fit(tables_from_jsonl(args.corpus))
-        predictor = Predictor(model, model_backend=args.model_backend)
+        predictor = Predictor(
+            model,
+            model_backend=args.model_backend,
+            sketch_store=args.sketch_store,
+            sketch_sample_rows=args.sketch_sample_rows,
+        )
     tables = [table_from_csv(path) for path in args.csv]
     predictions = predictor.predict_tables(tables)
+    predictor.close()
     for path, table, labels in zip(args.csv, tables, predictions):
         if len(args.csv) > 1:
             print(f"# {path}")
@@ -647,6 +694,11 @@ def _cmd_annotate(args: argparse.Namespace) -> int:
 
     if args.chunk_rows is not None and args.chunk_rows < 1:
         print("--chunk-rows must be >= 1", file=sys.stderr)
+        return 2
+    if _check_sketch_arguments(args):
+        return 2
+    if args.sketch_gc and args.sketch_store is None:
+        print("--sketch-gc requires --sketch-store", file=sys.stderr)
         return 2
     chunk_rows = (
         args.chunk_rows
@@ -677,7 +729,11 @@ def _cmd_annotate(args: argparse.Namespace) -> int:
         except BundleFormatError as error:
             print(f"cannot load model bundle: {error}", file=sys.stderr)
             return 2
-    annotator = StreamingAnnotator(model)
+    annotator = StreamingAnnotator(
+        model,
+        sketch_store=args.sketch_store,
+        sample_rows=args.sketch_sample_rows,
+    )
 
     # Resolve every source file up front: a missing path or unknown format
     # is reported once, and the remaining sources still get annotated
@@ -712,6 +768,24 @@ def _cmd_annotate(args: argparse.Namespace) -> int:
         handle.flush()
         if handle is not sys.stdout:
             handle.close()
+    if annotator.sketch_store is not None:
+        stats = annotator.sketch_store.stats()
+        if args.sketch_gc:
+            summary = annotator.sketch_store.gc(purge_stale=True)
+            print(
+                f"sketch-gc: kept {summary['live_entries']} entr"
+                f"{'y' if summary['live_entries'] == 1 else 'ies'} in "
+                f"{summary['sections']} section(s), reclaimed "
+                f"{summary['reclaimed_bytes']} bytes, purged "
+                f"{summary['purged_files']} stale file(s)",
+                file=sys.stderr,
+            )
+        print(
+            f"sketch-store: {stats['hits']} hit(s), {stats['misses']} "
+            f"miss(es)",
+            file=sys.stderr,
+        )
+        annotator.close()
     print(
         f"annotated {annotated} table(s) from {len(sources)} source file(s)"
         + (f", {failures} failed" if failures else ""),
@@ -755,6 +829,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("--fleet-workers must be >= 0", file=sys.stderr)
         return 2
     fleet_mode = args.fleet_workers > 0
+    if _check_sketch_arguments(args):
+        return 2
+    if fleet_mode and (
+        args.sketch_store is not None or args.sketch_sample_rows is not None
+    ):
+        # The store is single-writer: prefork workers appending to one
+        # directory would interleave records.
+        print(
+            "--sketch-store/--sketch-sample-rows require a single-process "
+            "server (prefork workers cannot share one store)",
+            file=sys.stderr,
+        )
+        return 2
 
     registry = None
     shadow = None
@@ -780,6 +867,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     feature_backend=args.feature_backend,
                     workers=args.workers,
                     model_backend=args.model_backend,
+                    sketch_store=args.sketch_store,
+                    sketch_sample_rows=args.sketch_sample_rows,
                 )
             except (RegistryError, BundleFormatError) as error:
                 print(f"cannot load from registry: {error}", file=sys.stderr)
@@ -815,6 +904,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     feature_backend=args.feature_backend,
                     workers=args.workers,
                     model_backend=args.model_backend,
+                    sketch_store=args.sketch_store,
+                    sketch_sample_rows=args.sketch_sample_rows,
                 )
             except BundleFormatError as error:
                 print(f"cannot load model bundle: {error}", file=sys.stderr)

@@ -52,6 +52,12 @@ class ExperimentConfig:
 
     # Bulk ingestion (streaming chunked annotate; see docs/ingest.md)
     ingest_chunk_rows: int = 4096
+    # Persistent column-sketch store for incremental re-annotation
+    # (directory path or None = off; see docs/performance.md).  The
+    # sample dial bounds featurization of store misses to each column's
+    # first N values; fingerprints always cover the full content.
+    sketch_store: str | None = None
+    sketch_sample_rows: int | None = None
 
     # Online serving (micro-batching policy; see docs/operations.md)
     serve_max_batch_size: int = DEFAULT_MAX_BATCH_SIZE

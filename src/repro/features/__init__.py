@@ -26,6 +26,12 @@ from repro.features.engine import (
     char_features_batch,
     stats_features_batch,
 )
+from repro.features.sketchstore import (
+    SketchStore,
+    SketchStoreWarning,
+    StreamSketcher,
+    values_fingerprint,
+)
 
 __all__ = [
     "CHAR_FEATURE_NAMES",
@@ -42,4 +48,8 @@ __all__ = [
     "FeatureGroup",
     "FeatureMatrix",
     "VectorizedEngine",
+    "SketchStore",
+    "SketchStoreWarning",
+    "StreamSketcher",
+    "values_fingerprint",
 ]

@@ -136,6 +136,26 @@ class TokenAccumulator:
             merged.append(seg)
         self._segments = merged
 
+    def to_state(self) -> dict:
+        """JSON-serialisable exact state (round-trips via :meth:`from_state`)."""
+        return {
+            "max_tokens": self.max_tokens,
+            "segments": [
+                [start_row, row_span, list(tokens)]
+                for start_row, row_span, tokens in self._segments
+            ],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "TokenAccumulator":
+        """Rebuild an accumulator from :meth:`to_state` output."""
+        accumulator = cls(int(state["max_tokens"]))
+        for start_row, row_span, tokens in state["segments"]:
+            accumulator._insert(
+                [int(start_row), int(row_span), [str(t) for t in tokens]]
+            )
+        return accumulator
+
     def tokens(self) -> list[str]:
         """The assembled token prefix (at most ``max_tokens`` tokens)."""
         if len(self._segments) == 1:
@@ -193,3 +213,21 @@ class ColumnAccumulator:
     def token_list(self) -> list[str]:
         """The column's capped token prefix (for Word/Para features)."""
         return self.tokens.tokens()
+
+    def to_state(self) -> dict:
+        """JSON-serialisable exact state of all three sub-accumulators."""
+        return {
+            "char": self.char.to_state(),
+            "stat": self.stat.to_state(),
+            "tokens": self.tokens.to_state(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ColumnAccumulator":
+        """Rebuild a composite accumulator from :meth:`to_state` output."""
+        tokens = TokenAccumulator.from_state(state["tokens"])
+        accumulator = cls(tokens.max_tokens)
+        accumulator.char = CharAccumulator.from_state(state["char"])
+        accumulator.stat = StatAccumulator.from_state(state["stat"])
+        accumulator.tokens = tokens
+        return accumulator

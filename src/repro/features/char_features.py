@@ -137,6 +137,52 @@ class CharAccumulator:
         self.lengths.update(other.lengths)
         return self
 
+    def to_state(self) -> dict:
+        """JSON-serialisable exact state (round-trips via :meth:`from_state`).
+
+        The length histogram's integer keys become strings (JSON object
+        keys are strings); everything else is plain integers.
+        """
+        return {
+            "n_values": self.n_values,
+            "counts": list(self.counts),
+            "presence": list(self.presence),
+            "n_alpha": self.n_alpha,
+            "n_digit": self.n_digit,
+            "n_space": self.n_space,
+            "n_punct": self.n_punct,
+            "n_upper": self.n_upper,
+            "total_chars": self.total_chars,
+            "lengths": {str(k): v for k, v in self.lengths.items()},
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "CharAccumulator":
+        """Rebuild an accumulator from :meth:`to_state` output.
+
+        The restored accumulator finalizes (and merges) to the exact
+        same bits as the original: the state IS the sufficient
+        statistics.
+        """
+        accumulator = cls()
+        counts = [int(c) for c in state["counts"]]
+        presence = [int(p) for p in state["presence"]]
+        if len(counts) != len(CHAR_VOCABULARY) or len(presence) != len(CHAR_VOCABULARY):
+            raise ValueError("char state does not match CHAR_VOCABULARY")
+        accumulator.n_values = int(state["n_values"])
+        accumulator.counts = counts
+        accumulator.presence = presence
+        accumulator.n_alpha = int(state["n_alpha"])
+        accumulator.n_digit = int(state["n_digit"])
+        accumulator.n_space = int(state["n_space"])
+        accumulator.n_punct = int(state["n_punct"])
+        accumulator.n_upper = int(state["n_upper"])
+        accumulator.total_chars = int(state["total_chars"])
+        accumulator.lengths = Counter(
+            {int(k): int(v) for k, v in state["lengths"].items()}
+        )
+        return accumulator
+
     def finalize(self) -> np.ndarray:
         """Reduce the accumulated state to the Char feature vector."""
         if self.n_values == 0:

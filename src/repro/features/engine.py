@@ -519,9 +519,7 @@ def _stats_block(batch: _ValueBatch) -> np.ndarray:
         numbers, number_cols, n_cols
     )
     numeric_sum = np.bincount(number_cols, weights=numbers, minlength=n_cols)
-    numeric_sum_log = np.where(
-        n_numbers > 0, np.log1p(np.abs(numeric_sum)), 0.0
-    )
+    numeric_sum_log = np.where(n_numbers > 0, np.log1p(np.abs(numeric_sum)), 0.0)
     frac_negative = _safe_divide(
         np.bincount(number_cols[numbers < 0], minlength=n_cols), n_numbers
     )

@@ -130,6 +130,12 @@ class ColumnFeaturizer:
         self._groups: tuple[FeatureGroup, ...] | None = None
         self._engine = None
         self._fitted = False
+        # Runtime (non-fitted) sketch settings: a persistent store consulted
+        # by transform_columns, and the bounded-sample dial.  See
+        # :meth:`set_sketch_store`.
+        self.sketch_store = None
+        self.sketch_sample_rows: int | None = None
+        self._sketch_section: str | None = None
 
     # ------------------------------------------------------------------ fit
 
@@ -174,7 +180,9 @@ class ColumnFeaturizer:
 
         return self.fit_stream(stream_tables(list(tables)))
 
-    def fit_stream(self, streams) -> "ColumnFeaturizer":
+    def fit_stream(
+        self, streams, sketch_store=None, sample_rows: int | None = None
+    ) -> "ColumnFeaturizer":
         """Fit from an iterable of :class:`~repro.tables.TableStream`.
 
         Each stream's chunks are folded into one
@@ -182,23 +190,39 @@ class ColumnFeaturizer:
         column, so memory is proportional to the number of columns (plus
         distinct values per column), never the row count.  The result is
         bit-identical to :meth:`fit` on the materialized tables.
+
+        With ``sketch_store`` (a
+        :class:`~repro.features.sketchstore.SketchStore`), accumulator
+        states are read through a substrate-free "content" section keyed
+        by column fingerprint: refitting over a mostly-unchanged corpus
+        skips accumulation for every unchanged column, bit-identically.
+        ``sample_rows`` bounds accumulation to each column's first N
+        values (the fingerprint still covers the full content).
         """
         self._reset_engine()
+        self._sketch_section = None
         accumulators = []
-        for stream in streams:
-            stream_accs = [self.column_accumulator() for _ in range(stream.n_columns)]
-            for chunk in stream.chunks:
-                if chunk.n_columns != len(stream_accs):
-                    raise ValueError(
-                        f"chunk has {chunk.n_columns} columns, stream declared "
-                        f"{len(stream_accs)}"
-                    )
-                row_span = chunk.n_rows
-                for accumulator, values in zip(stream_accs, chunk.columns):
-                    accumulator.partial_fit(
-                        values, start_row=chunk.start_row, row_span=row_span
-                    )
-            accumulators.extend(stream_accs)
+        if sketch_store is None and sample_rows is None:
+            for stream in streams:
+                stream_accs = [
+                    self.column_accumulator() for _ in range(stream.n_columns)
+                ]
+                for chunk in stream.chunks:
+                    if chunk.n_columns != len(stream_accs):
+                        raise ValueError(
+                            f"chunk has {chunk.n_columns} columns, stream "
+                            f"declared {len(stream_accs)}"
+                        )
+                    row_span = chunk.n_rows
+                    for accumulator, values in zip(stream_accs, chunk.columns):
+                        accumulator.partial_fit(
+                            values, start_row=chunk.start_row, row_span=row_span
+                        )
+                accumulators.extend(stream_accs)
+        else:
+            accumulators = self._fit_accumulators_sketched(
+                streams, sketch_store, sample_rows
+            )
         documents = [
             accumulator.token_list()[: self.max_tokens_per_column]
             for accumulator in accumulators
@@ -212,9 +236,7 @@ class ColumnFeaturizer:
         self._fitted = True
         if self.standardize and accumulators:
             try:
-                raw = np.stack(
-                    [self._raw_from_accumulator(a) for a in accumulators]
-                )
+                raw = np.stack([self._raw_from_accumulator(a) for a in accumulators])
             except BaseException:
                 # A failed standardiser pass must not leave a "fitted"
                 # featurizer that silently serves unstandardized features.
@@ -224,6 +246,50 @@ class ColumnFeaturizer:
             self._std = raw.std(axis=0)
             self._std[self._std < 1e-8] = 1.0
         return self
+
+    def _fit_accumulators_sketched(self, streams, sketch_store, sample_rows):
+        """Accumulators for ``fit_stream``, read through the sketch store."""
+        from repro.features import sketchstore
+
+        sketch_store, owns_store = sketchstore.open_store(sketch_store)
+        section = None
+        if sketch_store is not None:
+            section = sketch_store.section(
+                sketchstore.content_section_config(
+                    self.max_tokens_per_column, sample_rows=sample_rows
+                )
+            )
+        accumulators = []
+        for stream in streams:
+            sketcher = sketchstore.StreamSketcher(
+                self, stream.n_columns, sample_rows=sample_rows
+            )
+            for chunk in stream.chunks:
+                if chunk.n_columns != sketcher.n_columns:
+                    raise ValueError(
+                        f"chunk has {chunk.n_columns} columns, stream "
+                        f"declared {sketcher.n_columns}"
+                    )
+                sketcher.feed(chunk)
+            for index, fingerprint in enumerate(sketcher.fingerprints()):
+                accumulator = None
+                if sketch_store is not None and not sketcher.flushed:
+                    accumulator = sketchstore.accumulator_from_sketch(
+                        sketch_store.get(section, fingerprint),
+                        self.max_tokens_per_column,
+                    )
+                if accumulator is None:
+                    accumulator = sketcher.accumulator(index)
+                    if sketch_store is not None:
+                        sketch_store.put(
+                            section,
+                            fingerprint,
+                            sketchstore.content_sketch(accumulator, sketcher.n_rows),
+                        )
+                accumulators.append(accumulator)
+        if owns_store:
+            sketch_store.close()
+        return accumulators
 
     # ------------------------------------------------------------ transform
 
@@ -266,7 +332,9 @@ class ColumnFeaturizer:
             clone.set_backend(backend or clone.backend, workers)
         return clone
 
-    def set_backend(self, backend: str, workers: int | None = None) -> "ColumnFeaturizer":
+    def set_backend(
+        self, backend: str, workers: int | None = None
+    ) -> "ColumnFeaturizer":
         """Switch the featurization backend (and optionally the worker count).
 
         The backend is runtime behaviour, not fitted state: switching never
@@ -276,10 +344,37 @@ class ColumnFeaturizer:
         if backend not in self.BACKENDS:
             raise ValueError(f"unknown feature backend {backend!r}")
         self.backend = backend
+        # Sketch sections are keyed by producer (= backend): re-resolve.
+        self._sketch_section = None
         if workers is not None:
             if workers < 0:
                 raise ValueError("workers must be >= 0")
             self.workers = workers
+        return self
+
+    def set_sketch_store(
+        self, store, sample_rows: int | None = None
+    ) -> "ColumnFeaturizer":
+        """Attach a persistent sketch store to the transform path.
+
+        ``store`` is a :class:`~repro.features.sketchstore.SketchStore`
+        (or ``None`` to detach).  Once attached, :meth:`transform_columns`
+        serves any column whose content fingerprint hits the store's
+        section for this featurizer's configuration from the stored raw
+        row — bit-identical to recomputing it, because the stored row IS
+        a previously computed one and standardisation is elementwise —
+        and writes back the rows it had to compute.
+
+        ``sample_rows`` is the bounded-sample dial: store misses are
+        featurized from each column's first N values only (fingerprints
+        always cover the full content, so a differently-sampled
+        configuration is a different section, never a false hit).
+        """
+        if sample_rows is not None and sample_rows < 1:
+            raise ValueError("sample_rows must be >= 1")
+        self.sketch_store = store
+        self.sketch_sample_rows = sample_rows
+        self._sketch_section = None
         return self
 
     def _raw_features(self, column: Column) -> np.ndarray:
@@ -326,6 +421,28 @@ class ColumnFeaturizer:
         stat_vector = accumulator.stat.finalize()
         return np.concatenate([char_vector, word_vector, para_vector, stat_vector])
 
+    def raw_from_accumulator(self, accumulator) -> np.ndarray:
+        """Public raw-row finalization for one accumulator (unstandardized).
+
+        The building block the sketch store persists: pair with
+        :meth:`standardize_matrix` to reproduce :meth:`finalize_columns`
+        bit-for-bit on any mix of fresh and stored rows.
+        """
+        if not self._fitted:
+            raise RuntimeError("featurizer must be fitted before transform")
+        return self._raw_from_accumulator(accumulator)
+
+    def standardize_matrix(self, raw: np.ndarray) -> np.ndarray:
+        """Apply the fitted standardiser to a raw feature matrix.
+
+        Elementwise (per-row independent), so standardising rows served
+        from the sketch store is bit-identical to standardising them
+        inside the batch that originally computed them.
+        """
+        if self.standardize and self._mean is not None and self._std is not None:
+            return (raw - self._mean) / self._std
+        return raw
+
     def finalize_columns(self, accumulators) -> np.ndarray:
         """Finalize a batch of column accumulators into feature vectors.
 
@@ -339,9 +456,7 @@ class ColumnFeaturizer:
         if not self._fitted:
             raise RuntimeError("featurizer must be fitted before transform")
         raw = np.stack([self._raw_from_accumulator(a) for a in accumulators])
-        if self.standardize and self._mean is not None and self._std is not None:
-            raw = (raw - self._mean) / self._std
-        return raw
+        return self.standardize_matrix(raw)
 
     def transform_stream(self, stream) -> np.ndarray:
         """Featurize one :class:`~repro.tables.TableStream` in bounded memory."""
@@ -354,11 +469,63 @@ class ColumnFeaturizer:
                 )
         return self.finalize_columns(accumulators)
 
-    def _raw_matrix(self, columns: Sequence[Column]) -> np.ndarray:
+    def _compute_raw(self, columns: Sequence[Column]) -> np.ndarray:
         """Raw (unstandardized) features for a batch, via the active backend."""
         if self.backend == "vectorized":
             return self.engine.transform(columns)
         return np.stack([self._raw_features(column) for column in columns])
+
+    def _raw_matrix(self, columns: Sequence[Column]) -> np.ndarray:
+        """Raw features for a batch, read through the sketch store when set.
+
+        Hits are served from stored raw rows (bit-identical to the run
+        that stored them); misses are computed through the active backend
+        — from a bounded sample when ``sketch_sample_rows`` is set — and
+        written back.
+        """
+        store = self.sketch_store
+        sample = self.sketch_sample_rows
+        if store is None and sample is None:
+            return self._compute_raw(columns)
+        from repro.features import sketchstore
+
+        keys: list[str] | None = None
+        section = None
+        if store is not None:
+            section = self._sketch_section
+            if section is None:
+                section = store.section(
+                    sketchstore.column_section_config(
+                        self, producer=self.backend, sample_rows=sample
+                    )
+                )
+                self._sketch_section = section
+            keys = [sketchstore.values_fingerprint(column.values) for column in columns]
+            rows = [
+                sketchstore.sketch_row(store.get(section, key), self.n_features)
+                for key in keys
+            ]
+        else:
+            rows = [None] * len(columns)
+        missing = [index for index, row in enumerate(rows) if row is None]
+        if missing:
+            todo = [columns[index] for index in missing]
+            if sample is not None:
+                todo = [sketchstore.sampled_column(column, sample) for column in todo]
+            computed = self._compute_raw(todo)
+            for position, index in enumerate(missing):
+                row = computed[position]
+                rows[index] = row
+                if store is not None:
+                    store.put(
+                        section,
+                        keys[index],
+                        {
+                            "n": len(columns[index].values),
+                            "row": row.tolist(),
+                        },
+                    )
+        return np.stack(rows)
 
     def transform_column(self, column: Column) -> np.ndarray:
         """Featurize one column."""
@@ -380,10 +547,7 @@ class ColumnFeaturizer:
             return np.zeros((0, self.n_features), dtype=np.float64)
         if not self._fitted:
             raise RuntimeError("featurizer must be fitted before transform")
-        raw = self._raw_matrix(columns)
-        if self.standardize and self._mean is not None and self._std is not None:
-            raw = (raw - self._mean) / self._std
-        return raw
+        return self.standardize_matrix(self._raw_matrix(columns))
 
     def transform_tables(self, tables: Sequence[Table]) -> FeatureMatrix:
         """Featurize every column of every table into one feature matrix.
@@ -446,6 +610,7 @@ class ColumnFeaturizer:
     def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
         """Restore state produced by :meth:`state_dict`."""
         self._reset_engine()
+        self._sketch_section = None
         self.word_model.load_state_dict(
             {k[len("word."):]: v for k, v in state.items() if k.startswith("word.")}
         )

@@ -126,6 +126,25 @@ class StatAccumulator:
         self.counter.update(other.counter)
         return self
 
+    def to_state(self) -> dict:
+        """JSON-serialisable exact state (round-trips via :meth:`from_state`)."""
+        return {
+            "n_values": self.n_values,
+            "n_missing": self.n_missing,
+            "counter": dict(self.counter),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "StatAccumulator":
+        """Rebuild an accumulator from :meth:`to_state` output."""
+        accumulator = cls()
+        accumulator.n_values = int(state["n_values"])
+        accumulator.n_missing = int(state["n_missing"])
+        accumulator.counter = Counter(
+            {str(k): int(v) for k, v in state["counter"].items()}
+        )
+        return accumulator
+
     def finalize(self) -> np.ndarray:
         """Reduce the accumulated state to the 27-dimensional Stat vector."""
         if self.n_values == 0:

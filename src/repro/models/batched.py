@@ -150,9 +150,7 @@ class BatchedInferenceCore:
 
     # -------------------------------------------------------------- decode
 
-    def labels_from_proba(
-        self, probabilities: Sequence[np.ndarray]
-    ) -> list[list[str]]:
+    def labels_from_proba(self, probabilities: Sequence[np.ndarray]) -> list[list[str]]:
         """Decode every table's labels given per-table column-wise scores.
 
         Tables the CRF applies to (structured variant, fitted CRF, more

@@ -30,6 +30,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.features import sketchstore
 from repro.models import MODEL_BACKENDS, SatoModel, TopicAwareModel
 from repro.models.batched import split_by_table
 from repro.serving.bundle import load_model, model_fingerprint
@@ -44,7 +45,9 @@ def column_fingerprint(column: Column) -> str:
 
     Values are length-prefixed before hashing so that value boundaries are
     unambiguous (``["ab", "c"]`` and ``["a", "bc"]`` hash differently).
-    Headers are excluded: they are never model input.
+    Headers are excluded: they are never model input.  Delegates to
+    :func:`repro.features.sketchstore.values_fingerprint` — the canonical
+    column-identity hash shared with the persistent sketch store.
 
     Examples:
         >>> from repro.tables import Column
@@ -54,12 +57,7 @@ def column_fingerprint(column: Column) -> str:
         >>> a == column_fingerprint(Column(values=["a", "bc"]))
         False
     """
-    digest = hashlib.blake2b(digest_size=16)
-    for value in column.values:
-        encoded = value.encode("utf-8")
-        digest.update(len(encoded).to_bytes(4, "little"))
-        digest.update(encoded)
-    return digest.hexdigest()
+    return sketchstore.values_fingerprint(column.values)
 
 
 class LRUCache:
@@ -144,6 +142,17 @@ class Predictor:
         (:mod:`repro.models.batched`); ``"loop"`` keeps the per-table
         decode (the bit-exact parity oracle).  Stored on the predictor, not
         the model, so two predictors over one model can differ.
+    sketch_store:
+        Optional persistent sketch store — a
+        :class:`~repro.features.sketchstore.SketchStore` or a store
+        directory path — consulted as an L2 behind the in-memory feature
+        and topic caches: columns (and table topics) whose fingerprint +
+        config hit the store skip computation even on a cold process.
+        Single-process only (the prefork fleet must not share one).
+    sketch_sample_rows:
+        Bounded-sample dial: featurize cache/store misses from each
+        column's first N values only (topic documents are sampled the
+        same way).  Trades accuracy for speed on huge columns.
 
     Columns are treated as immutable snapshots: both the feature cache and
     the per-object fingerprint memo assume a :class:`Column`'s values never
@@ -172,6 +181,8 @@ class Predictor:
         model_backend: str = "batched",
         model_name: str | None = None,
         model_version: str | None = None,
+        sketch_store=None,
+        sketch_sample_rows: int | None = None,
     ) -> None:
         if model.column_model.network is None:
             raise RuntimeError("Predictor requires a fitted model")
@@ -185,12 +196,21 @@ class Predictor:
         self.column_model = model.column_model
         self._feature_backend = feature_backend
         self._workers = workers
+        self.sketch_store, self._owns_sketch_store = sketchstore.open_store(
+            sketch_store
+        )
+        self.sketch_sample_rows = sketch_sample_rows
+        self._topic_section: str | None = None
         # A runtime clone shares all fitted state but owns its backend /
         # worker settings and engine, so two predictors over the same model
         # (or the model's own training featurizer) never fight over them.
         self.featurizer = model.column_model.featurizer.runtime_clone(
             backend=feature_backend, workers=workers
         )
+        if self.sketch_store is not None or sketch_sample_rows is not None:
+            self.featurizer.set_sketch_store(
+                self.sketch_store, sketch_sample_rows
+            )
         self.cache = LRUCache(cache_size)
         self.topic_cache = LRUCache(cache_size)
         self._fingerprints: dict[int, tuple[weakref.ref, str]] = {}
@@ -229,6 +249,8 @@ class Predictor:
         model_backend: str = "batched",
         model_name: str | None = None,
         model_version: str | None = None,
+        sketch_store=None,
+        sketch_sample_rows: int | None = None,
     ) -> "Predictor":
         """Build a predictor straight from a saved bundle directory."""
         return cls(
@@ -239,6 +261,8 @@ class Predictor:
             model_backend=model_backend,
             model_name=model_name,
             model_version=model_version,
+            sketch_store=sketch_store,
+            sketch_sample_rows=sketch_sample_rows,
         )
 
     @classmethod
@@ -286,6 +310,8 @@ class Predictor:
         feature_backend: str | None = None,
         workers: int | None = None,
         model_backend: str = "batched",
+        sketch_store=None,
+        sketch_sample_rows: int | None = None,
     ) -> "Predictor":
         """Build a predictor from a registry version (default: the promoted).
 
@@ -301,6 +327,8 @@ class Predictor:
             model_backend=model_backend,
             model_name=info.name,
             model_version=info.version,
+            sketch_store=sketch_store,
+            sketch_sample_rows=sketch_sample_rows,
         )
 
     # ------------------------------------------------------------- hot swap
@@ -362,6 +390,13 @@ class Predictor:
             self.featurizer = model.column_model.featurizer.runtime_clone(
                 backend=self._feature_backend, workers=self._workers
             )
+            if self.sketch_store is not None or self.sketch_sample_rows is not None:
+                # Re-resolve sections lazily: a new substrate hashes to a
+                # new section, so old sketches become misses, not wrong hits.
+                self.featurizer.set_sketch_store(
+                    self.sketch_store, self.sketch_sample_rows
+                )
+                self._topic_section = None
             if changed:
                 # Feature vectors and topic vectors are functions of model
                 # state; a different fingerprint invalidates both.  The
@@ -451,15 +486,37 @@ class Predictor:
         """
         if not isinstance(self.column_model, TopicAwareModel):
             return None
+        store = self.sketch_store
+        sample = self.sketch_sample_rows
+        intent = self.column_model.intent_estimator
         rows: list[np.ndarray] = []
         for table in tables:
             if not table.columns:
                 continue
             key = self._table_fingerprint(table)
             vector = self.topic_cache.get(key)
+            if vector is None and store is not None:
+                if self._topic_section is None:
+                    self._topic_section = store.section(
+                        sketchstore.topic_section_config(
+                            intent, sample_rows=sample
+                        )
+                    )
+                vector = sketchstore.topic_vector_from_sketch(
+                    store.get(self._topic_section, key), intent.n_topics
+                )
+                if vector is not None:
+                    self.topic_cache.put(key, vector)
             if vector is None:
-                vector = self.column_model.intent_estimator.topic_vector(table)
+                source = table
+                if sample is not None:
+                    source = sketchstore.sampled_table(table, sample)
+                vector = intent.topic_vector(source)
                 self.topic_cache.put(key, vector)
+                if store is not None:
+                    store.put(
+                        self._topic_section, key, {"topic": vector.tolist()}
+                    )
             rows.append(np.tile(vector, (table.n_columns, 1)))
         if not rows:
             return np.zeros((0, self.column_model.n_topics))
@@ -534,6 +591,8 @@ class Predictor:
         serve again.
         """
         self.featurizer.close()
+        if self._owns_sketch_store and self.sketch_store is not None:
+            self.sketch_store.close()
         if self.shared_store is not None:
             store, self.shared_store = self.shared_store, None
             store.close()
@@ -569,7 +628,7 @@ class Predictor:
             >>> second["misses"] == first["misses"]
             True
         """
-        return {
+        info = {
             "size": len(self.cache),
             "capacity": self.cache.capacity,
             "hits": self.cache.hits,
@@ -579,6 +638,9 @@ class Predictor:
             "topic_misses": self.topic_cache.misses,
             "fingerprints": len(self._fingerprints),
         }
+        if self.sketch_store is not None:
+            info["sketch_store"] = self.sketch_store.stats()
+        return info
 
     def predict_info(self) -> dict:
         """Cumulative model-side serving counters (instrumentation hook).

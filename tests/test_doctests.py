@@ -15,6 +15,7 @@ import pytest
 
 import repro.features.accumulators
 import repro.features.engine
+import repro.features.sketchstore
 import repro.features.stats_features
 import repro.ingest.base
 import repro.models.batched
@@ -38,6 +39,7 @@ DOCUMENTED_MODULES = [
     char_features_module,
     repro.features.accumulators,
     repro.features.engine,
+    repro.features.sketchstore,
     repro.features.stats_features,
     repro.ingest.base,
     repro.models.batched,
