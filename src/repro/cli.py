@@ -16,6 +16,8 @@ Subcommands::
                          --model-backend batched
     repro-sato serve     --registry registry/ --model-name sato \
                          --watch-interval 2
+    repro-sato profile   --model model/ --suite clean_baseline \
+                         --suite-preset tiny --json profile_report.json
     repro-sato evaluate  --corpus corpus.jsonl --variant Sato --k 3
     repro-sato evaluate  --model model/ --corpus eval.jsonl
     repro-sato evaluate  --model model/ --suite all --suite-preset tiny
@@ -46,7 +48,10 @@ sources (CSV/NDJSON/SQLite/JSONL files, directories of them, Parquet with
 ``pyarrow``) as typed schemas on JSONL output, streaming every source in
 bounded-memory chunks (``docs/ingest.md``); corrupt sources are reported
 on stderr and skipped, and the exit code is non-zero if any source
-failed.  ``suites`` lists the shipped suites and their
+failed.  ``profile`` replays a shipped suite
+through a saved bundle under the tracing instrumentation and prints a
+per-stage flame table (``docs/observability.md``).  ``suites`` lists the
+shipped suites and their
 difficulty manifests.  ``registry`` manages the versioned model lifecycle
 (``docs/registry.md``); gated promotions may add per-suite criteria via
 ``--suite`` and every gate decision is appended to the model's
@@ -60,6 +65,7 @@ import argparse
 import json
 import sys
 import time
+from pathlib import Path
 from typing import Sequence
 
 from repro.corpus import CorpusConfig, CorpusGenerator
@@ -320,9 +326,50 @@ def build_parser() -> argparse.ArgumentParser:
         "spills to the next worker on the routing ring "
         "(default: max-queue / fleet-workers)",
     )
+    serve.add_argument(
+        "--log-format",
+        choices=("text", "json"),
+        default="text",
+        help="request logging: terse text on stderr (default) or one "
+        "structured JSON line per request (trace id, outcome, timings)",
+    )
     _add_backend_arguments(serve)
     _add_model_backend_argument(serve)
     _add_sketch_arguments(serve)
+
+    profile = subparsers.add_parser(
+        "profile",
+        help="replay a suite through a saved bundle and break wall time "
+        "down per pipeline stage",
+    )
+    profile.add_argument(
+        "--model", required=True, help="model bundle directory (from `train`)"
+    )
+    profile.add_argument(
+        "--suite",
+        default="clean_baseline",
+        help="shipped corpus suite to replay (see `repro-sato suites`)",
+    )
+    profile.add_argument(
+        "--suite-preset",
+        choices=("tiny", "full"),
+        default="tiny",
+        help="suite size preset",
+    )
+    profile.add_argument(
+        "--batch-size",
+        type=int,
+        default=8,
+        help="tables per replayed request batch",
+    )
+    profile.add_argument(
+        "--json",
+        dest="json_out",
+        default=None,
+        help="also write the full profile report to this JSON file",
+    )
+    _add_backend_arguments(profile)
+    _add_model_backend_argument(profile)
 
     registry = subparsers.add_parser(
         "registry",
@@ -953,6 +1000,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             bundle_path=args.model,
             shadow=shadow,
             batcher=predictor if fleet_mode else None,
+            log_format=args.log_format,
         )
         await server.start()
         # Handle shutdown signals inside the loop: the drain then runs to
@@ -993,6 +1041,44 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except (FleetError, RegistryError, BundleFormatError) as error:
         print(f"cannot start serving: {error}", file=sys.stderr)
         return 2
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.corpus.suites import build_suite
+    from repro.obs import profile_predictor, render_flame
+
+    if args.batch_size < 1:
+        print("--batch-size must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        bundle = build_suite(args.suite, args.suite_preset)
+    except (KeyError, ValueError) as error:
+        print(f"cannot build suite: {error}", file=sys.stderr)
+        return 2
+    try:
+        predictor = Predictor.from_bundle(
+            args.model,
+            feature_backend=args.feature_backend,
+            workers=args.workers,
+            model_backend=args.model_backend,
+        )
+    except BundleFormatError as error:
+        print(f"cannot load model bundle: {error}", file=sys.stderr)
+        return 2
+    report = profile_predictor(
+        predictor,
+        bundle.tables,
+        batch_size=args.batch_size,
+        model=args.model,
+        suite=args.suite,
+    )
+    print(render_flame(report))
+    if args.json_out is not None:
+        out = Path(args.json_out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"report written to {out}", file=sys.stderr)
     return 0
 
 
@@ -1190,6 +1276,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "predict": _cmd_predict,
         "annotate": _cmd_annotate,
         "serve": _cmd_serve,
+        "profile": _cmd_profile,
         "registry": _cmd_registry,
         "report": _cmd_report,
     }

@@ -18,6 +18,8 @@ import numpy as np
 
 from scipy.special import logsumexp
 
+from repro.obs import span
+
 __all__ = ["LinearChainCRF"]
 
 
@@ -173,6 +175,12 @@ class LinearChainCRF:
         ``sum(lengths)``), with finished chains carrying their final
         ``delta`` forward unchanged (length masking).
         """
+        with span("decode.viterbi", n_chains=len(unaries)):
+            return self._viterbi_batch_impl(unaries, lengths)
+
+    def _viterbi_batch_impl(
+        self, unaries: np.ndarray, lengths: np.ndarray
+    ) -> list[np.ndarray]:
         unaries = np.asarray(unaries, dtype=np.float64)
         if unaries.ndim != 3 or unaries.shape[2] != self.n_states:
             raise ValueError(

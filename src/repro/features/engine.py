@@ -48,6 +48,7 @@ from repro.features.char_features import (
     _CHAR_INDEX,
 )
 from repro.features.stats_features import STAT_FEATURE_NAMES, _try_parse_number
+from repro.obs import span
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.features.featurizer import ColumnFeaturizer
@@ -658,12 +659,18 @@ class VectorizedEngine:
         self, columns: Sequence["Column"], project_para: bool = True
     ) -> np.ndarray:
         value_lists = [column.values for column in columns]
-        batch = _build_batch(value_lists)
-        char_block = _char_block(batch)
-        stat_block = _stats_block(batch)
-        word_block, para_block = self._embedding_block(
-            value_lists, project=project_para
-        )
+        # Kernel-level spans: the codepoint pass, the scalar stats block and
+        # the embedding gathers are the candidates for compiled backends, so
+        # each is timed separately under the parent ``featurize`` span.
+        with span("featurize.char", n_columns=len(columns)):
+            batch = _build_batch(value_lists)
+            char_block = _char_block(batch)
+        with span("featurize.stats"):
+            stat_block = _stats_block(batch)
+        with span("featurize.embed"):
+            word_block, para_block = self._embedding_block(
+                value_lists, project=project_para
+            )
         return np.concatenate([char_block, word_block, para_block, stat_block], axis=1)
 
     def _token_info(self, token: str) -> tuple[int, float]:

@@ -500,11 +500,19 @@ class ColumnFeaturizer:
                     )
                 )
                 self._sketch_section = section
-            keys = [sketchstore.values_fingerprint(column.values) for column in columns]
-            rows = [
-                sketchstore.sketch_row(store.get(section, key), self.n_features)
-                for key in keys
-            ]
+            from repro.obs import span
+
+            with span("sketch.lookup", n_columns=len(columns)) as lookup:
+                keys = [
+                    sketchstore.values_fingerprint(column.values)
+                    for column in columns
+                ]
+                rows = [
+                    sketchstore.sketch_row(store.get(section, key), self.n_features)
+                    for key in keys
+                ]
+                misses = sum(1 for row in rows if row is None)
+                lookup.meta = {"hits": len(rows) - misses, "misses": misses}
         else:
             rows = [None] * len(columns)
         missing = [index for index, row in enumerate(rows) if row is None]

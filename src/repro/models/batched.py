@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
+from repro.obs import span
 from repro.tables import Table
 from repro.types import INDEX_TO_TYPE
 
@@ -170,18 +171,19 @@ class BatchedInferenceCore:
         independent = [i for i in range(len(probabilities)) if i not in structured_set]
 
         if independent:
-            matrices = [probabilities[i] for i in independent]
-            lengths = [matrix.shape[0] for matrix in matrices]
-            if sum(lengths):
-                flat = np.argmax(np.concatenate(matrices, axis=0), axis=1)
-            else:
-                flat = np.zeros(0, dtype=np.int64)
-            offset = 0
-            for i, length in zip(independent, lengths):
-                results[i] = [
-                    INDEX_TO_TYPE[int(k)] for k in flat[offset : offset + length]
-                ]
-                offset += length
+            with span("decode.argmax", n_tables=len(independent)):
+                matrices = [probabilities[i] for i in independent]
+                lengths = [matrix.shape[0] for matrix in matrices]
+                if sum(lengths):
+                    flat = np.argmax(np.concatenate(matrices, axis=0), axis=1)
+                else:
+                    flat = np.zeros(0, dtype=np.int64)
+                offset = 0
+                for i, length in zip(independent, lengths):
+                    results[i] = [
+                        INDEX_TO_TYPE[int(k)] for k in flat[offset : offset + length]
+                    ]
+                    offset += length
 
         if structured:
             assert model.crf is not None

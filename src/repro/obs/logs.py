@@ -1,0 +1,61 @@
+"""Structured JSON request logs for the serving stack.
+
+``serve --log-format json`` switches the server's per-request logging from
+free text to one JSON object per line on stderr — the shape log pipelines
+(Loki, CloudWatch, `jq`) ingest without a parse rule.  Every record
+carries the request's trace ID, so a slow line in the logs links directly
+to its per-stage spans.
+
+The logger is deliberately tiny: no handlers, no levels beyond the
+``event`` field, no buffering.  A line is one ``json.dumps`` and one
+atomic ``write`` (atomic for sane line lengths on POSIX pipes), so it is
+safe from the event loop and the dispatch thread without a lock.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import IO
+
+__all__ = ["RequestLogger"]
+
+
+class RequestLogger:
+    """Emit one structured JSON line per serving event.
+
+    Parameters
+    ----------
+    stream:
+        Destination (defaults to ``sys.stderr``, the conventional log fd
+        for a server whose stdout may carry protocol output).
+    enabled:
+        When False every call is a no-op — the ``--log-format text``
+        default keeps the pre-existing quiet behaviour.
+
+    Examples:
+        >>> import io
+        >>> buffer = io.StringIO()
+        >>> logger = RequestLogger(stream=buffer)
+        >>> logger.log("request", trace_id="ab12", status=200, clock=lambda: 5.0)
+        >>> record = json.loads(buffer.getvalue())
+        >>> record["event"], record["trace_id"], record["status"], record["ts"]
+        ('request', 'ab12', 200, 5.0)
+    """
+
+    def __init__(self, stream: IO[str] | None = None, enabled: bool = True) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.enabled = enabled
+
+    def log(self, event: str, clock=time.time, **fields) -> None:
+        """Write one record; non-serialisable values degrade to ``repr``.
+
+        ``clock`` is injectable so tests and doctests stay deterministic.
+        """
+        if not self.enabled:
+            return
+        record = {"ts": clock(), "event": event}
+        record.update(fields)
+        line = json.dumps(record, default=repr, separators=(",", ":"))
+        self.stream.write(line + "\n")

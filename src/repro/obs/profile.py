@@ -1,0 +1,199 @@
+"""Hot-path profiling: replay a corpus and attribute wall time to stages.
+
+``repro-sato profile`` answers the question the ROADMAP's compiled-kernel
+item opens with: *which stage actually dominates a served request?*  It
+replays a corpus through a real :class:`~repro.serving.Predictor` in
+micro-batch-sized slices, with the process tracer recording every
+instrumented stage (codepoint featurization, embedding gather, topic
+inference, column-network forward, Viterbi/argmax decode, JSON encode),
+then reduces the spans into:
+
+* a **flame-style table** — stages nested by their observed parent/child
+  structure, each with a share bar, counts and percentiles; and
+* a **JSON report** (written under ``benchmarks/results/``) whose
+  ``coverage`` field proves the accounting: the top-level pipeline stages
+  must explain ≥90% of the measured wall time, or the profile is lying by
+  omission.
+
+The stage *shares* in the report are the artifact later optimisation PRs
+cite — a compiled kernel should move its stage's share, visibly, in this
+exact output.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from typing import Sequence
+
+from repro.obs.trace import Span, Tracer, get_tracer
+
+__all__ = ["COVERAGE_STAGES", "profile_predictor", "render_flame"]
+
+#: Sequential, non-overlapping top-level stages of one request: their
+#: summed time over measured wall time defines the report's ``coverage``.
+COVERAGE_STAGES = (
+    "featurize",
+    "topic.infer",
+    "forward",
+    "decode",
+    "encode.json",
+)
+
+
+def profile_predictor(
+    predictor,
+    tables: Sequence,
+    batch_size: int = 8,
+    tracer: Tracer | None = None,
+    model: str | None = None,
+    suite: str | None = None,
+) -> dict:
+    """Replay ``tables`` through ``predictor`` and profile every stage.
+
+    The replay mirrors the serving hot path: tables go through
+    ``predict_tables`` in ``batch_size`` slices (one micro-batch each,
+    wrapped in a ``request`` root span) and every batch's labels are JSON
+    encoded under ``encode.json``, exactly as the HTTP server would.  The
+    tracer is reset first so the report reflects only this replay.
+
+    Returns the JSON-ready report dict (stages, shares, coverage).
+
+    Examples:
+        >>> from repro.tables import Column, Table
+        >>> class Fake:
+        ...     def predict_tables(self, tables):
+        ...         return [["name"] * t.n_columns for t in tables]
+        >>> table = Table(columns=[Column(values=["x"]), Column(values=["y"])])
+        >>> report = profile_predictor(Fake(), [table], batch_size=4)
+        >>> report["n_tables"], report["n_columns"]
+        (1, 2)
+        >>> 0.0 <= report["coverage"] <= 1.0
+        True
+        >>> "encode.json" in report["stages"]
+        True
+    """
+    import json
+
+    tracer = tracer if tracer is not None else get_tracer()
+    was_enabled = tracer.enabled
+    tracer.enabled = True
+    tracer.reset()
+
+    n_tables = 0
+    n_columns = 0
+    started = time.perf_counter()
+    try:
+        for offset in range(0, len(tables), batch_size):
+            batch = list(tables[offset : offset + batch_size])
+            with tracer.span("request", batch_size=len(batch)):
+                labels = predictor.predict_tables(batch)
+                with tracer.span("encode.json"):
+                    for table_labels in labels:
+                        json.dumps({"labels": table_labels})
+            n_tables += len(batch)
+            n_columns += sum(table.n_columns for table in batch)
+    finally:
+        wall = time.perf_counter() - started
+        tracer.enabled = was_enabled
+
+    stages = tracer.stages.snapshot()
+    covered = sum(
+        stages[name]["total_seconds"] for name in COVERAGE_STAGES if name in stages
+    )
+    shares = {
+        name: stages[name]["total_seconds"] / wall
+        for name in COVERAGE_STAGES
+        if name in stages and wall > 0.0
+    }
+    return {
+        "model": model,
+        "suite": suite,
+        "n_tables": n_tables,
+        "n_columns": n_columns,
+        "batch_size": batch_size,
+        "wall_seconds": wall,
+        "coverage": covered / wall if wall > 0.0 else 0.0,
+        "stage_shares": shares,
+        "stages": stages,
+        "tree": _stage_tree(tracer.spans()),
+    }
+
+
+def _stage_tree(spans: Sequence[Span]) -> dict[str, str | None]:
+    """Map each stage name to its most common parent stage name.
+
+    Spans record parent *IDs*; for display we want the stable stage-level
+    hierarchy (``decode.viterbi`` under ``decode`` under ``request``), so
+    each stage votes with its observed parents and the majority wins.
+    """
+    names = {span.span_id: span.name for span in spans}
+    votes: dict[str, Counter] = {}
+    for span in spans:
+        parent = names.get(span.parent_id) if span.parent_id else None
+        votes.setdefault(span.name, Counter())[parent] += 1
+    return {name: counter.most_common(1)[0][0] for name, counter in votes.items()}
+
+
+def render_flame(report: dict, width: int = 30) -> str:
+    """Render a report as a flame-style text table (stdout of the CLI).
+
+    Stages are nested by the report's parent tree and sorted by cumulative
+    time; each row shows a share bar scaled to the root stage, counts and
+    window percentiles.
+
+    Examples:
+        >>> report = {
+        ...     "wall_seconds": 0.01,
+        ...     "coverage": 0.95,
+        ...     "stages": {
+        ...         "request": {"count": 1, "total_seconds": 0.01,
+        ...                     "share": 1.0, "p50_ms": 10.0, "p95_ms": 10.0},
+        ...         "forward": {"count": 1, "total_seconds": 0.004,
+        ...                     "share": 0.4, "p50_ms": 4.0, "p95_ms": 4.0},
+        ...     },
+        ...     "tree": {"request": None, "forward": "request"},
+        ... }
+        >>> print(render_flame(report, width=10))
+        stage                      share  count    total_ms    p50_ms    p95_ms
+        request                   100.0%      1        10.0      10.0      10.0  ██████████
+          forward                  40.0%      1         4.0       4.0       4.0  ████
+        coverage: 95.0% of 0.010s wall
+    """
+    stages: dict = report["stages"]
+    tree: dict = report.get("tree", {})
+    children: dict[str | None, list[str]] = {}
+    for name in stages:
+        parent = tree.get(name)
+        if parent is not None and parent not in stages:
+            parent = None
+        children.setdefault(parent, []).append(name)
+    for siblings in children.values():
+        siblings.sort(key=lambda n: stages[n]["total_seconds"], reverse=True)
+
+    lines = [
+        f"{'stage':<24}{'share':>8}{'count':>7}{'total_ms':>12}"
+        f"{'p50_ms':>10}{'p95_ms':>10}"
+    ]
+
+    def emit(name: str, depth: int) -> None:
+        stage = stages[name]
+        share = stage.get("share", 0.0)
+        bar = "█" * max(1, round(share * width)) if share > 0 else ""
+        label = "  " * depth + name
+        lines.append(
+            f"{label:<24}{share * 100:>7.1f}%{stage['count']:>7}"
+            f"{stage['total_seconds'] * 1e3:>12.1f}"
+            f"{stage.get('p50_ms', 0.0):>10.1f}{stage.get('p95_ms', 0.0):>10.1f}"
+            f"  {bar}"
+        )
+        for child in children.get(name, []):
+            emit(child, depth + 1)
+
+    for root in children.get(None, []):
+        emit(root, 0)
+    lines.append(
+        f"coverage: {report.get('coverage', 0.0) * 100:.1f}% of "
+        f"{report.get('wall_seconds', 0.0):.3f}s wall"
+    )
+    return "\n".join(lines)

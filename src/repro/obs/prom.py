@@ -1,0 +1,128 @@
+"""Prometheus text-format exposition for the serving metrics snapshot.
+
+``GET /metrics`` returns the nested JSON snapshot the dashboards and tests
+consume; ``GET /metrics.prom`` renders the *same* snapshot in the
+Prometheus text exposition format (version 0.0.4) so a stock Prometheus
+scrape job can ingest it without an exporter sidecar.  The mapping is
+mechanical and total:
+
+* every numeric leaf of the nested snapshot becomes one gauge sample whose
+  name is the underscore-joined path (``latency_ms.p99`` →
+  ``repro_latency_ms_p99``);
+* the ``stages`` subtree (per-stage tracing aggregates) is special-cased
+  into label-style samples — ``repro_stage_p99_ms{stage="forward"}`` — so
+  stage names stay one queryable dimension instead of exploding the metric
+  namespace;
+* booleans render as 0/1, non-numeric leaves (version strings, worker
+  lists) are skipped — Prometheus has no string samples.
+
+Stdlib only; no client library.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["render_prometheus"]
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Snapshot subtree rendered with a ``stage`` label instead of flattening.
+_STAGE_KEY = "stages"
+
+
+def _sanitize(part: str) -> str:
+    """A snapshot key as a legal Prometheus metric-name fragment."""
+    cleaned = _NAME_OK.sub("_", str(part))
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _escape_label(value: str) -> str:
+    """Escape a label value per the text exposition format."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    return repr(float(value))
+
+
+def _numeric(value) -> bool:
+    return isinstance(value, (bool, int, float))
+
+
+def _flatten(prefix: list[str], node, samples: list[tuple[str, str | None, str]]):
+    """Collect ``(metric_name, label, value)`` samples from a nested dict."""
+    if isinstance(node, dict):
+        for key, child in node.items():
+            _flatten(prefix + [_sanitize(key)], child, samples)
+    elif _numeric(node):
+        samples.append(("_".join(prefix), None, _format_value(node)))
+
+
+def render_prometheus(snapshot: dict, namespace: str = "repro") -> str:
+    """Render a metrics snapshot in Prometheus text exposition format.
+
+    Parameters
+    ----------
+    snapshot:
+        The nested dict served on ``/metrics`` (any depth; only numeric
+        leaves are rendered).  A ``stages`` key matching the
+        :meth:`repro.obs.StageAggregates.snapshot` shape is rendered with a
+        ``stage`` label.
+    namespace:
+        Prefix for every metric name.
+
+    Examples:
+        >>> text = render_prometheus(
+        ...     {
+        ...         "uptime_seconds": 2.0,
+        ...         "latency_ms": {"p99": 1.5},
+        ...         "stages": {"forward": {"count": 3, "p99_ms": 0.5}},
+        ...     }
+        ... )
+        >>> print(text, end="")
+        # TYPE repro_uptime_seconds gauge
+        repro_uptime_seconds 2.0
+        # TYPE repro_latency_ms_p99 gauge
+        repro_latency_ms_p99 1.5
+        # TYPE repro_stage_count gauge
+        repro_stage_count{stage="forward"} 3.0
+        # TYPE repro_stage_p99_ms gauge
+        repro_stage_p99_ms{stage="forward"} 0.5
+    """
+    samples: list[tuple[str, str | None, str]] = []
+    for key, node in snapshot.items():
+        if key == _STAGE_KEY and isinstance(node, dict):
+            for stage, fields in node.items():
+                if not isinstance(fields, dict):
+                    continue
+                label = f'stage="{_escape_label(str(stage))}"'
+                for field, value in fields.items():
+                    if _numeric(value):
+                        samples.append(
+                            (
+                                f"stage_{_sanitize(field)}",
+                                label,
+                                _format_value(value),
+                            )
+                        )
+        else:
+            _flatten([_sanitize(key)], node, samples)
+
+    # The exposition format wants every sample of a metric in one group
+    # under its TYPE line, so regroup by metric name (first-seen order).
+    grouped: dict[str, list[str]] = {}
+    for name, label, value in samples:
+        metric = f"{namespace}_{name}"
+        body = f"{metric} {value}" if label is None else f"{metric}{{{label}}} {value}"
+        grouped.setdefault(metric, []).append(body)
+
+    lines: list[str] = []
+    for metric, bodies in grouped.items():
+        lines.append(f"# TYPE {metric} gauge")
+        lines.extend(bodies)
+    return "\n".join(lines) + "\n" if lines else ""

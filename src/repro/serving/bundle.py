@@ -26,7 +26,13 @@ from pathlib import Path
 import numpy as np
 
 from repro.features import ColumnFeaturizer
-from repro.models import SatoConfig, SatoModel, SherlockModel, TopicAwareModel, TrainingConfig
+from repro.models import (
+    SatoConfig,
+    SatoModel,
+    SherlockModel,
+    TopicAwareModel,
+    TrainingConfig,
+)
 from repro.topic import LatentDirichletAllocation, TableIntentEstimator
 from repro.types import SEMANTIC_TYPES
 
@@ -130,9 +136,7 @@ def model_fingerprint(model: SatoModel) -> str:
         True
     """
     digest = hashlib.blake2b(digest_size=16)
-    digest.update(
-        json.dumps(model.config_dict(), sort_keys=True).encode("utf-8")
-    )
+    digest.update(json.dumps(model.config_dict(), sort_keys=True).encode("utf-8"))
     state = model.state_dict()
     for key in sorted(state):
         tensor = np.ascontiguousarray(state[key])
@@ -151,7 +155,9 @@ def _read_manifest(path: Path) -> dict:
         with manifest_path.open("r", encoding="utf-8") as handle:
             manifest = json.load(handle)
     except json.JSONDecodeError as error:
-        raise BundleFormatError(f"corrupt {MANIFEST_NAME} in {path}: {error}") from error
+        raise BundleFormatError(
+            f"corrupt {MANIFEST_NAME} in {path}: {error}"
+        ) from error
     version = manifest.get("format_version")
     if version != FORMAT_VERSION:
         raise BundleFormatError(
@@ -208,9 +214,7 @@ def read_state(path: str | Path) -> dict[str, np.ndarray]:
         return {key: archive[key] for key in archive.files}
 
 
-def load_model_from_state(
-    path: str | Path, state: dict[str, np.ndarray]
-) -> SatoModel:
+def load_model_from_state(path: str | Path, state: dict[str, np.ndarray]) -> SatoModel:
     """Rebuild a bundle's model around an externally supplied tensor state.
 
     ``path`` still provides the manifest (config tree, tensor key list,

@@ -55,6 +55,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator, Sequence
 
+from repro.obs import get_tracer
 from repro.serving.predictor import Predictor, column_fingerprint
 from repro.serving.scheduler import (
     DEFAULT_MAX_BATCH_SIZE,
@@ -138,7 +139,9 @@ class HashRing:
         True
     """
 
-    def __init__(self, worker_ids: Sequence[int], replicas: int = DEFAULT_RING_REPLICAS) -> None:
+    def __init__(
+        self, worker_ids: Sequence[int], replicas: int = DEFAULT_RING_REPLICAS
+    ) -> None:
         if not worker_ids:
             raise ValueError("HashRing needs at least one worker id")
         if replicas < 1:
@@ -195,6 +198,11 @@ class WorkerSpec:
     metrics_window: int
 
 
+def _frame_context(message: tuple):
+    """Trace context of a predict frame (None for frames that carry none)."""
+    return message[3] if len(message) > 3 else None
+
+
 class _WorkerRuntime:
     """The serving loop living inside one fleet worker process."""
 
@@ -240,7 +248,7 @@ class _WorkerRuntime:
                 running = self._handle_control(message)
                 continue
             received = time.monotonic()
-            batch = [(message[1], message[2], received)]
+            batch = [(message[1], message[2], received, _frame_context(message))]
             deadline = received + self.max_wait
             while len(batch) < self.spec.max_batch_size:
                 remaining = deadline - time.monotonic()
@@ -254,33 +262,60 @@ class _WorkerRuntime:
                 if companion[0] != "predict":
                     trailing = companion
                     break
-                batch.append((companion[1], companion[2], time.monotonic()))
+                batch.append(
+                    (
+                        companion[1],
+                        companion[2],
+                        time.monotonic(),
+                        _frame_context(companion),
+                    )
+                )
             self._dispatch(batch)
 
     def _dispatch(self, batch: list[tuple]) -> None:
         for _ in batch:
             self.metrics.record_admitted()
-        tables = [table for _rid, table, _at in batch]
+        tables = [table for _rid, table, _at, _ctx in batch]
+        tracer = get_tracer()
         started = time.monotonic()
+        waits = [started - received for _rid, _table, received, _ctx in batch]
+        for wait in waits:
+            self.metrics.record_queue_wait(wait)
+            tracer.observe("queue.wait", wait)
+        # The first traced request anchors the batch: the worker's spans
+        # (worker.batch and everything the predictor opens inside it) are
+        # recorded under that request's propagated context and shipped back
+        # with its reply, so the front end can reassemble one whole trace.
+        anchor = next(
+            (ctx for _rid, _table, _at, ctx in batch if ctx is not None), None
+        )
+        token = tracer.attach(anchor)
         try:
-            results = self.predictor.predict_tables(tables)
-            version = self.predictor.last_batch_version
+            with tracer.span("worker.batch", batch_size=len(tables)):
+                results = self.predictor.predict_tables(tables)
+                version = self.predictor.last_batch_version
         except Exception as error:
             reason = f"{type(error).__name__}: {error}"
-            for rid, _table, _at in batch:
+            for rid, _table, _at, _ctx in batch:
                 self.metrics.record_error()
                 self._send(("err", rid, reason))
             return
+        finally:
+            tracer.detach(token)
         seconds = time.monotonic() - started
         self.metrics.record_batch(
             n_tables=len(tables),
             n_columns=sum(table.n_columns for table in tables),
             seconds=seconds,
         )
+        spans = tracer.take(anchor[0]) if anchor is not None else []
         finished = time.monotonic()
-        for (rid, _table, received), labels in zip(batch, results):
+        for (rid, _table, received, ctx), labels, wait in zip(batch, results, waits):
             self.metrics.record_request(finished - received)
-            self._send(("ok", rid, (labels, version)))
+            info: dict = {"batch_size": len(tables), "queue_wait": wait}
+            if spans and ctx is not None:
+                info["spans"], spans = spans, []
+            self._send(("ok", rid, (labels, version, info)))
 
     def _handle_control(self, message: tuple) -> bool:
         kind, rid, payload = message
@@ -288,13 +323,21 @@ class _WorkerRuntime:
             if kind == "ping":
                 self._send(("ok", rid, self._identity()))
             elif kind == "metrics":
-                self._send(("ok", rid, {
-                    "pid": os.getpid(),
-                    "metrics": self.metrics.snapshot(),
-                    "latencies": self.metrics.latencies(),
-                    "cache": self.predictor.cache_info(),
-                    "predictor": self.predictor.predict_info(),
-                }))
+                self._send(
+                    (
+                        "ok",
+                        rid,
+                        {
+                            "pid": os.getpid(),
+                            "metrics": self.metrics.snapshot(),
+                            "latencies": self.metrics.latencies(),
+                            "queue_waits": self.metrics.queue_waits(),
+                            "stages": get_tracer().stages.snapshot(),
+                            "cache": self.predictor.cache_info(),
+                            "predictor": self.predictor.predict_info(),
+                        },
+                    )
+                )
             elif kind == "prepare":
                 model, store = load_model_shared(
                     payload["bundle_path"], payload["store_path"]
@@ -657,6 +700,7 @@ class ServingFleet:
             handle.inflight -= 1
             if status == "ok":
                 self.metrics.record_request(time.monotonic() - submitted_at)
+                payload = self._absorb_worker_info(handle, payload)
             else:
                 self.metrics.record_error()
         if future.done():
@@ -665,6 +709,26 @@ class ServingFleet:
             future.set_result(payload)
         else:
             future.set_exception(FleetError(f"worker {handle.wid}: {payload}"))
+
+    def _absorb_worker_info(self, handle: _WorkerHandle, payload: tuple) -> tuple:
+        """Fold a predict reply's observability info into the front end.
+
+        Spans shipped by the batch's anchor request are re-parented here
+        tagged ``wid:pid`` — a respawned worker shows its new pid — and the
+        worker-measured queue wait (both endpoints on the worker's own
+        monotonic clock; cross-process clock deltas never enter a metric)
+        feeds the front end's queue-wait window and stage aggregates.
+        """
+        labels, version, info = payload
+        tracer = get_tracer()
+        wire_spans = info.pop("spans", None)
+        if wire_spans:
+            tracer.adopt(wire_spans, worker=f"{handle.wid}:{handle.pid}")
+        wait = info.get("queue_wait")
+        if wait is not None:
+            self.metrics.record_queue_wait(wait)
+            tracer.observe("queue.wait", wait)
+        return (labels, version, info)
 
     def _on_worker_exit(self, handle: _WorkerHandle) -> None:
         handle.alive = False
@@ -693,9 +757,7 @@ class ServingFleet:
                 continue
             if self._draining or self._closed:
                 replacement.retired = True
-                await self._loop.run_in_executor(
-                    None, self._stop_one, replacement
-                )
+                await self._loop.run_in_executor(None, self._stop_one, replacement)
                 return
             self._handles[wid] = replacement
             self._restarts += 1
@@ -742,17 +804,29 @@ class ServingFleet:
             raise QueueFullError(
                 f"fleet cannot admit more work (bound {self.max_queue})"
             )
+        # The request's span context rides in the frame (as a plain tuple)
+        # so the worker can record its spans under the same trace.
+        tracer = get_tracer()
+        context = tracer.current()
+        wire_context = tuple(context) if context is not None else None
         # A worker can die between selection and send; fail over along the
         # ring instead of surfacing a broken pipe to the client.
         for _ in range(self.n_workers):
-            handle = self._select_worker(table)
+            with tracer.span("route") as route_span:
+                handle = self._select_worker(table)
+                route_span.meta = {"worker": handle.wid}
             rid = next(self._rids)
             future = self._loop.create_future()
-            handle.pending[rid] = (future, "predict", time.monotonic(), table.n_columns)
+            handle.pending[rid] = (
+                future,
+                "predict",
+                time.monotonic(),
+                table.n_columns,
+            )
             handle.inflight += 1
             try:
                 with handle.send_lock:
-                    handle.conn.send(("predict", rid, table))
+                    handle.conn.send(("predict", rid, table, wire_context))
             except (BrokenPipeError, OSError):
                 handle.pending.pop(rid, None)
                 handle.inflight -= 1
@@ -768,6 +842,17 @@ class ServingFleet:
         The version is the tag of the model that served the request's
         batch on its worker (captured under that worker's swap lock), so
         responses stay honestly attributed during a rolling promote.
+        """
+        labels, version, _info = await self.submit_traced(table)
+        return labels, version
+
+    async def submit_traced(self, table: Table) -> tuple[list[str], str | None, dict]:
+        """Serve one table; resolves to ``(labels, version, info)``.
+
+        ``info`` mirrors :meth:`MicroBatcher.submit_traced`: the worker's
+        batch size and the worker-side ``queue_wait`` in seconds (any
+        shipped trace spans have already been folded into the front-end
+        tracer by the time the future resolves).
         """
         return await self._dispatch_one(table)
 
@@ -792,7 +877,7 @@ class ServingFleet:
         for result in results:
             if isinstance(result, BaseException):
                 raise result
-        return list(results)
+        return [(labels, version) for labels, version, _info in results]
 
     async def submit_many(self, tables: Sequence[Table]) -> list[list[str]]:
         """Serve several tables; resolves to their label lists."""
@@ -846,9 +931,7 @@ class ServingFleet:
                 if target is None:
                     from repro.registry import RegistryError
 
-                    raise RegistryError(
-                        f"{self.model_name} has no promoted version"
-                    )
+                    raise RegistryError(f"{self.model_name} has no promoted version")
                 return self.registry.verify(self.model_name, target)
 
             info = await self._loop.run_in_executor(None, resolve)
@@ -944,6 +1027,7 @@ class ServingFleet:
         )
         workers = []
         merged: list[float] = []
+        merged_waits: list[float] = []
         total_columns = 0
         total_batches = 0
         for handle, reply in zip(live, replies):
@@ -952,19 +1036,24 @@ class ServingFleet:
                 continue
             snapshot = reply["metrics"]
             merged.extend(reply["latencies"])
+            merged_waits.extend(reply.get("queue_waits", []))
             total_columns += snapshot["columns"]["served"]
             total_batches += snapshot["batches"]["count"]
-            workers.append({
-                "worker": handle.wid,
-                "pid": reply["pid"],
-                "inflight": handle.inflight,
-                "qps": snapshot["requests"]["qps"],
-                "columns_per_sec": snapshot["columns"]["columns_per_sec"],
-                "metrics": snapshot,
-                "cache": reply["cache"],
-                "predictor": reply["predictor"],
-            })
+            workers.append(
+                {
+                    "worker": handle.wid,
+                    "pid": reply["pid"],
+                    "inflight": handle.inflight,
+                    "qps": snapshot["requests"]["qps"],
+                    "columns_per_sec": snapshot["columns"]["columns_per_sec"],
+                    "metrics": snapshot,
+                    "stages": reply.get("stages", {}),
+                    "cache": reply["cache"],
+                    "predictor": reply["predictor"],
+                }
+            )
         merged.sort()
+        merged_waits.sort()
         return {
             "size": self.n_workers,
             "alive": len(live),
@@ -986,6 +1075,12 @@ class ServingFleet:
                 "p50": _percentile(merged, 0.50) * 1e3,
                 "p95": _percentile(merged, 0.95) * 1e3,
                 "p99": _percentile(merged, 0.99) * 1e3,
+            },
+            "queue_wait_ms": {
+                "window": len(merged_waits),
+                "p50": _percentile(merged_waits, 0.50) * 1e3,
+                "p95": _percentile(merged_waits, 0.95) * 1e3,
+                "p99": _percentile(merged_waits, 0.99) * 1e3,
             },
             "columns_served": total_columns,
             "batches": total_batches,

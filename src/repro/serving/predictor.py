@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.features import sketchstore
 from repro.models import MODEL_BACKENDS, SatoModel, TopicAwareModel
+from repro.obs import span
 from repro.models.batched import split_by_table
 from repro.serving.bundle import load_model, model_fingerprint
 from repro.serving.shm import load_model_shared
@@ -208,9 +209,7 @@ class Predictor:
             backend=feature_backend, workers=workers
         )
         if self.sketch_store is not None or sketch_sample_rows is not None:
-            self.featurizer.set_sketch_store(
-                self.sketch_store, sketch_sample_rows
-            )
+            self.featurizer.set_sketch_store(self.sketch_store, sketch_sample_rows)
         self.cache = LRUCache(cache_size)
         self.topic_cache = LRUCache(cache_size)
         self._fingerprints: dict[int, tuple[weakref.ref, str]] = {}
@@ -403,7 +402,8 @@ class Predictor:
                 # column fingerprint memo keys on content only and stays.
                 self.cache.clear()
                 self.topic_cache.clear()
-            self._model_name = model_name if model_name is not None else self._model_name
+            if model_name is not None:
+                self._model_name = model_name
             self._explicit_version = model_version
             self._model_fingerprint = fingerprint
             self._swap_count += 1
@@ -514,9 +514,7 @@ class Predictor:
                 vector = intent.topic_vector(source)
                 self.topic_cache.put(key, vector)
                 if store is not None:
-                    store.put(
-                        self._topic_section, key, {"topic": vector.tolist()}
-                    )
+                    store.put(self._topic_section, key, {"topic": vector.tolist()})
             rows.append(np.tile(vector, (table.n_columns, 1)))
         if not rows:
             return np.zeros((0, self.column_model.n_topics))
@@ -532,9 +530,16 @@ class Predictor:
         if not columns:
             return [np.zeros((0, n_classes)) for _ in tables]
         started = time.perf_counter()
-        features = self._batch_features(columns)
-        topics = self._batch_topics(tables)
-        probabilities = self.column_model.predict_proba_matrix(features, topics)
+        # The three sequential pipeline stages of a batch: cached/vectorised
+        # featurization, table-topic inference, column-network forward.
+        # Stage spans land in the trace of whichever request anchors the
+        # batch (see MicroBatcher._dispatch / the fleet worker runtime).
+        with span("featurize", n_columns=len(columns)):
+            features = self._batch_features(columns)
+        with span("topic.infer", n_tables=len(tables)):
+            topics = self._batch_topics(tables)
+        with span("forward", n_columns=len(columns)):
+            probabilities = self.column_model.predict_proba_matrix(features, topics)
         self._predict_seconds += time.perf_counter() - started
         return split_by_table(probabilities, tables)
 
@@ -568,9 +573,10 @@ class Predictor:
         with self._swap_lock:
             self.last_batch_version = self.model_version
             probabilities = self._columnwise_proba(tables)
-            if self.model_backend == "batched":
-                return self.model.labels_from_proba_batch(probabilities)
-            return [self.model.labels_from_proba(proba) for proba in probabilities]
+            with span("decode", n_tables=len(tables)):
+                if self.model_backend == "batched":
+                    return self.model.labels_from_proba_batch(probabilities)
+                return [self.model.labels_from_proba(proba) for proba in probabilities]
 
     def predict_proba_table(self, table: Table) -> np.ndarray:
         """Structured per-column type distributions for one table."""

@@ -39,6 +39,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro.obs import SpanContext, get_tracer
 from repro.tables import Table
 
 __all__ = [
@@ -71,8 +72,23 @@ def _percentile(sorted_values: list[float], fraction: float) -> float:
     """Nearest-rank percentile of an ascending list (0.0 for an empty one)."""
     if not sorted_values:
         return 0.0
-    rank = min(len(sorted_values) - 1, max(0, round(fraction * (len(sorted_values) - 1))))
+    position = round(fraction * (len(sorted_values) - 1))
+    rank = min(len(sorted_values) - 1, max(0, position))
     return sorted_values[rank]
+
+
+def _latency_summary(sorted_values: list[float]) -> dict:
+    """The standard window/percentile block for a sorted latency window."""
+    return {
+        "window": len(sorted_values),
+        "p50": _percentile(sorted_values, 0.50) * 1e3,
+        "p95": _percentile(sorted_values, 0.95) * 1e3,
+        "p99": _percentile(sorted_values, 0.99) * 1e3,
+        "mean": (
+            (sum(sorted_values) / len(sorted_values) * 1e3) if sorted_values else 0.0
+        ),
+        "max": (sorted_values[-1] * 1e3) if sorted_values else 0.0,
+    }
 
 
 class ServingMetrics:
@@ -109,6 +125,9 @@ class ServingMetrics:
     def __init__(self, window: int = 1024) -> None:
         self.window = window
         self.started_at = time.monotonic()
+        # Wall-clock start for restart detection from probes: monotonic
+        # uptime resets silently on respawn, the epoch timestamp does not.
+        self.started_at_unix = time.time()
         self.admitted = 0
         self.completed = 0
         self.errors = 0
@@ -121,6 +140,7 @@ class ServingMetrics:
         self.batch_seconds = 0.0
         self.batch_size_histogram: dict[int, int] = {}
         self._latencies: deque[float] = deque(maxlen=window)
+        self._queue_waits: deque[float] = deque(maxlen=window)
         self._lock = threading.Lock()
 
     # -------------------------------------------------------------- recording
@@ -162,6 +182,15 @@ class ServingMetrics:
             self.completed += 1
             self._latencies.append(latency_seconds)
 
+    def record_queue_wait(self, wait_seconds: float) -> None:
+        """Account one request's admission-to-dispatch wait.
+
+        Kept separate from total latency so queue pressure (batching
+        linger, backlog) is distinguishable from model cost.
+        """
+        with self._lock:
+            self._queue_waits.append(wait_seconds)
+
     def record_error(self) -> None:
         """Count a request that failed inside the model (HTTP 500)."""
         with self._lock:
@@ -179,14 +208,22 @@ class ServingMetrics:
         with self._lock:
             return list(self._latencies)
 
+    def queue_waits(self) -> list[float]:
+        """The raw queue-wait window in seconds (merged fleet-wide, like
+        :meth:`latencies`)."""
+        with self._lock:
+            return list(self._queue_waits)
+
     def snapshot(self) -> dict:
         """One JSON-friendly dictionary of every tracked number."""
         with self._lock:
             uptime = max(time.monotonic() - self.started_at, 1e-9)
             latencies = sorted(self._latencies)
+            queue_waits = sorted(self._queue_waits)
             mean_batch = self.tables_served / self.batches if self.batches else 0.0
             return {
                 "uptime_seconds": uptime,
+                "started_at": self.started_at_unix,
                 "requests": {
                     "admitted": self.admitted,
                     "completed": self.completed,
@@ -205,16 +242,8 @@ class ServingMetrics:
                     },
                     "model_seconds_total": self.batch_seconds,
                 },
-                "latency_ms": {
-                    "window": len(latencies),
-                    "p50": _percentile(latencies, 0.50) * 1e3,
-                    "p95": _percentile(latencies, 0.95) * 1e3,
-                    "p99": _percentile(latencies, 0.99) * 1e3,
-                    "mean": (
-                        (sum(latencies) / len(latencies) * 1e3) if latencies else 0.0
-                    ),
-                    "max": (latencies[-1] * 1e3) if latencies else 0.0,
-                },
+                "latency_ms": _latency_summary(latencies),
+                "queue_wait_ms": _latency_summary(queue_waits),
                 "columns": {
                     "served": self.columns_served,
                     "tables": self.tables_served,
@@ -230,6 +259,10 @@ class _Pending:
     table: Table
     future: asyncio.Future
     enqueued_at: float = field(default_factory=time.monotonic)
+    #: Trace context of the submitting request, captured at enqueue so the
+    #: dispatch thread can parent its batch span under the (first)
+    #: request's span even though it runs off the event loop.
+    context: SpanContext | None = None
 
 
 class MicroBatcher:
@@ -379,7 +412,9 @@ class MicroBatcher:
 
     def _enqueue(self, table: Table) -> asyncio.Future:
         future: asyncio.Future = asyncio.get_running_loop().create_future()
-        self._queue.append(_Pending(table=table, future=future))
+        self._queue.append(
+            _Pending(table=table, future=future, context=get_tracer().current())
+        )
         self.metrics.record_admitted()
         self._wake.set()
         return future
@@ -401,6 +436,16 @@ class MicroBatcher:
         under the predictor's swap lock), or None for predictors without
         versioning.  During a hot swap this is how a response can honestly
         say which model produced it.
+        """
+        labels, version, _info = await self.submit_traced(table)
+        return labels, version
+
+    async def submit_traced(self, table: Table) -> tuple[list[str], str | None, dict]:
+        """Submit one table; resolves to ``(labels, version, info)``.
+
+        ``info`` carries per-request observability detail the HTTP layer
+        logs and exposes: the size of the batch that served the request and
+        its admission-to-dispatch ``queue_wait`` in seconds.
         """
         self._admit(1)
         return await self._enqueue(table)
@@ -426,7 +471,7 @@ class MicroBatcher:
         for result in results:
             if isinstance(result, BaseException):
                 raise result
-        return list(results)
+        return [(labels, version) for labels, version, _info in results]
 
     # -------------------------------------------------------------- dispatch
 
@@ -460,13 +505,34 @@ class MicroBatcher:
             ]
             await self._dispatch(loop, batch)
 
-    async def _dispatch(self, loop: asyncio.AbstractEventLoop, batch: list[_Pending]) -> None:
+    async def _dispatch(
+        self, loop: asyncio.AbstractEventLoop, batch: list[_Pending]
+    ) -> None:
         tables = [pending.table for pending in batch]
         started = time.monotonic()
+        tracer = get_tracer()
+        waits = [started - pending.enqueued_at for pending in batch]
+        for wait in waits:
+            self.metrics.record_queue_wait(wait)
+            tracer.observe("queue.wait", wait)
+        anchor = next(
+            (pending.context for pending in batch if pending.context is not None),
+            None,
+        )
+
+        def _predict() -> list[list[str]]:
+            # run_in_executor does not carry contextvars across the thread
+            # hop: adopt the first request's span as the batch anchor so
+            # predictor-internal spans land in that request's trace.
+            token = tracer.attach(anchor)
+            try:
+                with tracer.span("batch.predict", batch_size=len(tables)):
+                    return self.predictor.predict_tables(tables)
+            finally:
+                tracer.detach(token)
+
         try:
-            results = await loop.run_in_executor(
-                self._executor, self.predictor.predict_tables, tables
-            )
+            results = await loop.run_in_executor(self._executor, _predict)
         except Exception as error:  # surfaced per request as HTTP 500
             for pending in batch:
                 if not pending.future.done():
@@ -484,7 +550,8 @@ class MicroBatcher:
             seconds=seconds,
         )
         finished = time.monotonic()
-        for pending, labels in zip(batch, results):
+        for pending, labels, wait in zip(batch, results, waits):
             if not pending.future.done():
-                pending.future.set_result((labels, version))
+                info = {"batch_size": len(tables), "queue_wait": wait}
+                pending.future.set_result((labels, version, info))
             self.metrics.record_request(finished - pending.enqueued_at)

@@ -51,6 +51,7 @@ import json
 import threading
 from typing import Sequence
 
+from repro.obs import RequestLogger, get_tracer, render_prometheus
 from repro.serving.scheduler import (
     DEFAULT_MAX_BATCH_SIZE,
     DEFAULT_MAX_QUEUE,
@@ -91,6 +92,22 @@ class MalformedRequest(ValueError):
     """A request body that cannot be turned into tables (HTTP 400)."""
 
 
+class _PlainText(str):
+    """Marker payload: already rendered, sent as ``text/plain`` verbatim."""
+
+
+def _normalize_reply(reply) -> tuple[int, object, dict, dict]:
+    """Expand a handler reply into ``(status, payload, headers, log fields)``.
+
+    Handlers return 2-tuples (status, payload), 3-tuples adding response
+    headers, or 4-tuples adding structured-log fields.
+    """
+    status, payload = reply[0], reply[1]
+    headers = reply[2] if len(reply) > 2 else {}
+    fields = reply[3] if len(reply) > 3 else {}
+    return status, payload, headers, fields
+
+
 def _parse_table(payload, where: str) -> Table:
     """Validate one JSON table object and build a :class:`Table` from it.
 
@@ -117,7 +134,10 @@ def _parse_table(payload, where: str) -> Table:
             raise MalformedRequest(
                 f"{where}.columns[{index}].values must be a list of strings"
             )
-        if not all(value is None or isinstance(value, (str, int, float)) for value in values):
+        if not all(
+            value is None or isinstance(value, (str, int, float))
+            for value in values
+        ):
             raise MalformedRequest(
                 f"{where}.columns[{index}].values must hold strings or numbers"
             )
@@ -223,9 +243,12 @@ class ServingServer:
         bundle_path: str | None = None,
         shadow=None,
         batcher=None,
+        log_format: str = "text",
     ) -> None:
         if registry is not None and model_name is None:
             raise ValueError("registry mode requires model_name")
+        if log_format not in ("text", "json"):
+            raise ValueError("log_format must be 'text' or 'json'")
         if watch_interval is not None and watch_interval <= 0:
             raise ValueError("watch_interval must be positive")
         self.predictor = predictor
@@ -248,6 +271,9 @@ class ServingServer:
         self.watch_interval = watch_interval
         self.bundle_path = bundle_path
         self.shadow = shadow
+        # JSON request logs are opt-in (`serve --log-format json`); the
+        # text default keeps the server quiet, as before.
+        self.logger = RequestLogger(enabled=log_format == "json")
         self._server: asyncio.base_events.Server | None = None
         self._draining = False
         self._reload_lock: asyncio.Lock | None = None
@@ -393,28 +419,44 @@ class ServingServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        extra_headers: dict[str, str] = {}
-        try:
-            reply = await self._handle_request(reader)
-            if len(reply) == 3:
-                status, payload, extra_headers = reply
+        tracer = get_tracer()
+        # The request span is the trace root: minted at admission, it
+        # covers read, routing (including the micro-batch queue wait and
+        # the model batch, whose spans parent under it) and the response
+        # encode.  Its trace ID is echoed in the X-Trace-Id header.
+        with tracer.span("request") as request_span:
+            try:
+                reply = await self._handle_request(reader)
+                status, payload, extra_headers, log_fields = _normalize_reply(reply)
+            except Exception:  # defensive: a handler bug must not kill the server
+                status, payload = 500, {"error": "internal server error"}
+                extra_headers, log_fields = {}, {}
+            # Every response names the serving model version; predict
+            # handlers override this with the version that served them.
+            if "X-Model-Version" not in extra_headers:
+                version = getattr(self.predictor, "model_version", None)
+                if version is not None:
+                    extra_headers["X-Model-Version"] = str(version)
+            if request_span.trace_id:
+                extra_headers.setdefault("X-Trace-Id", request_span.trace_id)
+            if isinstance(payload, _PlainText):
+                body = str(payload).encode("utf-8")
+                content_type = "text/plain; charset=utf-8"
             else:
-                status, payload = reply
-        except Exception:  # defensive: a handler bug must not kill the server
-            status, payload = 500, {"error": "internal server error"}
-        # Every response names the serving model version; predict handlers
-        # override this with the exact version that served their batch.
-        if "X-Model-Version" not in extra_headers:
-            version = getattr(self.predictor, "model_version", None)
-            if version is not None:
-                extra_headers["X-Model-Version"] = str(version)
-        body = (json.dumps(payload) + "\n").encode("utf-8")
-        extra = "".join(
-            f"{name}: {value}\r\n" for name, value in extra_headers.items()
+                with tracer.span("encode.json"):
+                    body = (json.dumps(payload) + "\n").encode("utf-8")
+                content_type = "application/json"
+        self.logger.log(
+            "request",
+            trace_id=request_span.trace_id or None,
+            status=status,
+            duration_ms=request_span.duration * 1e3,
+            **log_fields,
         )
+        extra = "".join(f"{name}: {value}\r\n" for name, value in extra_headers.items())
         headers = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
-            "Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"{extra}"
             "Connection: close\r\n"
@@ -452,7 +494,12 @@ class ServingServer:
         if isinstance(parsed, tuple) and len(parsed) == 2:
             return parsed  # an error (status, payload) from the read phase
         method, path, body = parsed
-        return await self._route(method, path, body)
+        status, payload, headers, fields = _normalize_reply(
+            await self._route(method, path, body)
+        )
+        fields.setdefault("method", method)
+        fields.setdefault("path", path)
+        return status, payload, headers, fields
 
     async def _read_request(self, reader: asyncio.StreamReader):
         """Read one request; returns (method, path, body) or (status, error)."""
@@ -493,6 +540,10 @@ class ServingServer:
             if method != "GET":
                 return 405, {"error": "use GET"}
             return 200, await self._metrics()
+        if path == "/metrics.prom":
+            if method != "GET":
+                return 405, {"error": "use GET"}
+            return 200, _PlainText(render_prometheus(await self._metrics()))
         if path == "/v1/predict":
             if method != "POST":
                 return 405, {"error": "use POST"}
@@ -522,6 +573,7 @@ class ServingServer:
             "draining": self._draining,
             "pending": self.batcher.pending,
             "uptime_seconds": snapshot["uptime_seconds"],
+            "started_at": snapshot["started_at"],
         }
         fleet_health = getattr(self.batcher, "health", None)
         if fleet_health is not None:
@@ -549,6 +601,9 @@ class ServingServer:
         fleet_metrics = getattr(self.batcher, "fleet_metrics", None)
         if fleet_metrics is not None:
             snapshot["fleet"] = await fleet_metrics()
+        # Always-on per-stage aggregates from the process tracer (for a
+        # fleet these include worker spans re-parented on this front end).
+        snapshot["stages"] = get_tracer().stages.snapshot()
         snapshot["policy"] = {
             "max_batch_size": self.batcher.max_batch_size,
             "max_wait_ms": self.batcher.max_wait_ms,
@@ -626,7 +681,9 @@ class ServingServer:
             return 400, {"error": "shadow evaluation requires registry mode"}
         version = payload.get("version")
         if not isinstance(version, str):
-            return 400, {"error": 'body must be {"version": "vNNNN", ...} or {"stop": true}'}
+            return 400, {
+                "error": 'body must be {"version": "vNNNN", ...} or {"stop": true}'
+            }
         fraction = payload.get("fraction", 0.1)
         if not isinstance(fraction, (int, float)) or not 0.0 <= fraction <= 1.0:
             return 400, {"error": "fraction must be a number in [0, 1]"}
@@ -661,26 +718,50 @@ class ServingServer:
         except Exception:
             pass  # a broken shadow must never affect the serving path
 
+    async def _submit_traced(self, table: Table) -> tuple[list[str], str | None, dict]:
+        """Submit through the batcher, preferring its traced surface.
+
+        Custom batchers without ``submit_traced`` still work; they simply
+        contribute no per-request observability info.
+        """
+        submit = getattr(self.batcher, "submit_traced", None)
+        if submit is not None:
+            return await submit(table)
+        labels, version = await self.batcher.submit_versioned(table)
+        return labels, version, {}
+
     async def _predict(self, body: bytes):
         if self._draining:
             self.metrics.record_rejected_draining()
             return 503, {"error": "server is draining"}
         try:
-            table = _predict_payload(body)
+            with get_tracer().span("request.parse"):
+                table = _predict_payload(body)
         except MalformedRequest as error:
             self.metrics.record_malformed()
-            return 400, {"error": str(error)}
+            return 400, {"error": str(error)}, {}, {"outcome": "malformed"}
         try:
-            labels, version = await self.batcher.submit_versioned(table)
+            labels, version, info = await self._submit_traced(table)
         except QueueFullError as error:
-            return 429, {"error": str(error)}
+            return 429, {"error": str(error)}, {}, {"outcome": "queue_full"}
         except DrainingError as error:
-            return 503, {"error": str(error)}
+            return 503, {"error": str(error)}, {}, {"outcome": "draining"}
         except Exception as error:
-            return 500, {"error": f"prediction failed: {error}"}
+            return 500, {"error": f"prediction failed: {error}"}, {}, {
+                "outcome": "error"
+            }
         self._mirror_to_shadow(table, labels)
         headers = {"X-Model-Version": str(version)} if version is not None else {}
-        return 200, _table_result(table, labels, version), headers
+        fields = {
+            "outcome": "ok",
+            "model_version": version,
+            "n_columns": table.n_columns,
+            "batch_size": info.get("batch_size"),
+            "queue_wait_ms": (
+                info["queue_wait"] * 1e3 if "queue_wait" in info else None
+            ),
+        }
+        return 200, _table_result(table, labels, version), headers, fields
 
     async def _predict_batch(self, body: bytes):
         if self._draining:
@@ -721,7 +802,12 @@ class ServerHandle:
     tests and scripts always shut the server down.
     """
 
-    def __init__(self, server: ServingServer, loop: asyncio.AbstractEventLoop, thread: threading.Thread) -> None:
+    def __init__(
+        self,
+        server: ServingServer,
+        loop: asyncio.AbstractEventLoop,
+        thread: threading.Thread,
+    ) -> None:
         self.server = server
         self._loop = loop
         self._thread = thread
@@ -772,6 +858,7 @@ def serve_in_thread(
     bundle_path: str | None = None,
     shadow=None,
     batcher=None,
+    log_format: str = "text",
 ) -> ServerHandle:
     """Start a :class:`ServingServer` on a background thread's event loop.
 
@@ -809,6 +896,7 @@ def serve_in_thread(
         bundle_path=bundle_path,
         shadow=shadow,
         batcher=batcher,
+        log_format=log_format,
     )
     try:
         asyncio.run_coroutine_threadsafe(server.start(), loop).result(timeout=60)

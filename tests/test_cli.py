@@ -37,6 +37,27 @@ class TestParser:
         assert args.feature_backend == "vectorized"
         assert args.workers == 0
         assert args.model_backend == "batched"
+        assert args.log_format == "text"
+
+    def test_serve_log_format_choices(self):
+        args = build_parser().parse_args(
+            ["serve", "--model", "bundle/", "--log-format", "json"]
+        )
+        assert args.log_format == "json"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["serve", "--model", "bundle/", "--log-format", "xml"]
+            )
+
+    def test_profile_args_and_defaults(self):
+        args = build_parser().parse_args(["profile", "--model", "bundle/"])
+        assert args.command == "profile"
+        assert args.suite == "clean_baseline"
+        assert args.suite_preset == "tiny"
+        assert args.batch_size == 8
+        assert args.json_out is None
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["profile"])  # --model is required
 
     def test_model_backend_choices(self):
         args = build_parser().parse_args(
@@ -186,6 +207,36 @@ class TestCommands:
         assert exit_code == 0
         output = capsys.readouterr().out
         assert "macro F1" in output and "held-out" in output
+
+    def test_profile_replays_suite_and_writes_report(self, tmp_path, capsys):
+        corpus = tmp_path / "corpus.jsonl"
+        main(["generate", "--n-tables", "40", "--seed", "6", "--out", str(corpus)])
+        bundle = tmp_path / "bundle"
+        main(["train", "--corpus", str(corpus), "--out", str(bundle),
+              "--variant", "Base", "--epochs", "2"])
+        capsys.readouterr()
+        report_path = tmp_path / "profile_report.json"
+        exit_code = main(["profile", "--model", str(bundle),
+                          "--suite", "clean_baseline", "--suite-preset", "tiny",
+                          "--json", str(report_path)])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert output.startswith("stage")
+        assert "featurize" in output and "coverage:" in output
+        report = json.loads(report_path.read_text())
+        assert report["suite"] == "clean_baseline"
+        assert report["n_tables"] > 0
+        assert 0.0 < report["coverage"] <= 1.0
+        assert set(report["stage_shares"]) >= {"featurize", "forward", "decode"}
+
+    def test_profile_rejects_bad_usage(self, tmp_path, capsys):
+        assert main(["profile", "--model", str(tmp_path / "nope"),
+                     "--suite", "not_a_suite"]) == 2
+        assert "cannot build suite" in capsys.readouterr().err
+        assert main(["profile", "--model", str(tmp_path / "nope"),
+                     "--batch-size", "0"]) == 2
+        assert main(["profile", "--model", str(tmp_path / "nope")]) == 2
+        assert "cannot load model bundle" in capsys.readouterr().err
 
     def test_registry_lifecycle_commands(self, tmp_path, capsys):
         corpus = tmp_path / "corpus.jsonl"

@@ -19,6 +19,10 @@ import repro.features.sketchstore
 import repro.features.stats_features
 import repro.ingest.base
 import repro.models.batched
+import repro.obs.logs
+import repro.obs.profile
+import repro.obs.prom
+import repro.obs.trace
 import repro.registry
 import repro.registry.shadow
 import repro.registry.store
@@ -43,6 +47,10 @@ DOCUMENTED_MODULES = [
     repro.features.stats_features,
     repro.ingest.base,
     repro.models.batched,
+    repro.obs.logs,
+    repro.obs.profile,
+    repro.obs.prom,
+    repro.obs.trace,
     repro.registry,
     repro.registry.shadow,
     repro.registry.store,
@@ -60,6 +68,10 @@ PUBLIC_EXAMPLE_PACKAGES = {
     char_features_module: ["CharAccumulator"],
     repro.features.stats_features: ["StatAccumulator"],
     repro.models.batched: ["pad_unaries", "split_by_table", "BatchedInferenceCore"],
+    repro.obs.logs: ["RequestLogger"],
+    repro.obs.profile: ["profile_predictor", "render_flame"],
+    repro.obs.prom: ["render_prometheus"],
+    repro.obs.trace: ["Span", "StageAggregates", "Tracer"],
     repro.registry.store: ["ModelRegistry"],
     repro.registry.shadow: ["ShadowEvaluator"],
     repro.registry.watch: ["RegistryWatcher"],
